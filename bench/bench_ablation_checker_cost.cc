@@ -1,0 +1,78 @@
+// Ablation A: per-I/O cost of the ES-Checker, per device and per strategy.
+//
+// google-benchmark microbenchmarks of one representative operation per
+// device in five configurations: no checker, full protection, and each
+// strategy alone. The deltas show where the runtime budget goes (DSOD
+// interpretation dominates; the strategy switches themselves are cheap).
+#include <benchmark/benchmark.h>
+
+#include "guest/workload.h"
+
+namespace {
+
+using namespace sedspec;
+
+enum class Config { kBaseline, kAll, kParamOnly, kIndirectOnly, kCondOnly };
+
+checker::CheckerConfig make_config(Config c) {
+  checker::CheckerConfig config;
+  config.enable_parameter = c == Config::kAll || c == Config::kParamOnly;
+  config.enable_indirect = c == Config::kAll || c == Config::kIndirectOnly;
+  config.enable_conditional = c == Config::kAll || c == Config::kCondOnly;
+  return config;
+}
+
+void run_bench(benchmark::State& state, const std::string& device,
+               Config config) {
+  auto wl = guest::make_workload(device);
+  if (config != Config::kBaseline) {
+    wl->build_and_deploy(make_config(config));
+  } else {
+    // Train anyway so both sides pay the same warm-up, then detach.
+    wl->build_and_deploy(make_config(Config::kAll));
+    wl->bus().set_proxy(nullptr);
+  }
+  Rng rng(99);
+  const uint64_t start_rounds = wl->bus().access_count();
+  for (auto _ : state) {
+    wl->common_operation(guest::InteractionMode::kRandom, rng);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(wl->bus().access_count() - start_rounds));
+  if (wl->deployed() && config != Config::kBaseline) {
+    state.counters["violations"] = static_cast<double>(
+        wl->checker()->stats().violations_by_strategy[0] +
+        wl->checker()->stats().violations_by_strategy[1] +
+        wl->checker()->stats().violations_by_strategy[2]);
+  }
+}
+
+void register_all() {
+  const std::pair<const char*, Config> configs[] = {
+      {"baseline", Config::kBaseline},    {"all_strategies", Config::kAll},
+      {"param_only", Config::kParamOnly}, {"indirect_only", Config::kIndirectOnly},
+      {"conditional_only", Config::kCondOnly},
+  };
+  for (const std::string& device : guest::workload_names()) {
+    for (const auto& [label, config] : configs) {
+      const std::string name = "BM_" + device + "/" + label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [device, config = config](benchmark::State& state) {
+            run_bench(state, device, config);
+          })
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.05);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

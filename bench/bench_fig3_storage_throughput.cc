@@ -1,0 +1,68 @@
+// Figure 3 reproduction: normalized throughput of storage devices.
+//
+// iozone-style block-size sweep over the four storage devices (FDC, USB
+// EHCI, SDHCI, SCSI). For each block size, bulk read/write throughput is
+// measured through the bus path without SEDSpec (normalized to 1) and with
+// the ES-Checker deployed. The paper reports < 5% loss; the FDC only has a
+// 2.88 MB medium, so its sweep stops below that limit.
+#include <cstdio>
+#include <vector>
+
+#include "benchsim/perf.h"
+#include "guest/workload.h"
+#include "common/log.h"
+#include "report.h"
+
+int main() {
+  using namespace sedspec;
+  set_log_level(LogLevel::kError);
+  bench_report::title(
+      "Figure 3 — Normalized storage throughput (baseline = 1.000)");
+
+  // Byte-PIO devices (FDC, SDHCI) pay a VM exit per data byte, so their
+  // sweep and byte budget are smaller to keep wall time sane; DMA-style
+  // devices run the full sweep. The FDC additionally cannot exceed its
+  // 2.88 MB medium (as in the paper).
+  const std::vector<size_t> kSweepPio = {4u << 10, 16u << 10, 64u << 10,
+                                         256u << 10};
+  const std::vector<size_t> kSweepDma = {4u << 10, 16u << 10, 64u << 10,
+                                         256u << 10, 1u << 20, 4u << 20};
+  std::printf("%-10s %-8s | %12s %12s | %12s %12s\n", "Device", "Block",
+              "write MB/s", "read MB/s", "norm write", "norm read");
+  bench_report::rule();
+
+  for (const std::string& name : guest::workload_names()) {
+    auto probe = guest::make_workload(name);
+    if (!probe->is_storage()) {
+      continue;
+    }
+    const bool pio = name == "fdc" || name == "sdhci";
+    for (size_t block : pio ? kSweepPio : kSweepDma) {
+      if (block >= probe->storage_capacity()) {
+        continue;  // FDC: blocks beyond the 2.88 MB medium are skipped
+      }
+      const size_t budget = pio ? (64u << 10) : (4u << 20);
+
+      auto base_wl = guest::make_workload(name);
+      benchsim::apply_latency_model(*base_wl);
+      const auto base =
+          benchsim::measure_storage(*base_wl, block, budget);
+
+      auto sed_wl = guest::make_workload(name);
+      sed_wl->build_and_deploy();
+      benchsim::apply_latency_model(*sed_wl);
+      const auto sed = benchsim::measure_storage(*sed_wl, block, budget);
+
+      std::printf("%-10s %-8s | %12.1f %12.1f | %12.3f %12.3f\n",
+                  name.c_str(), bench_report::human_size(block).c_str(),
+                  sed.write_mbps, sed.read_mbps,
+                  sed.write_mbps / base.write_mbps,
+                  sed.read_mbps / base.read_mbps);
+    }
+    bench_report::rule();
+  }
+  std::printf(
+      "Shape check: normalized throughput stays near 1.0 (the paper reports\n"
+      "less than 5%% loss across block sizes).\n");
+  return 0;
+}

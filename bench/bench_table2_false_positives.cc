@@ -1,0 +1,100 @@
+// Table II reproduction: false positives over time.
+//
+// For each device: train + deploy SEDSpec (enhancement mode), then run the
+// long-term multi-mode interaction campaign on a virtual clock for 30
+// hours, snapshotting cumulative false positives at 10/20/30 hours. All
+// traffic is legal; every flagged test case is a false positive, and every
+// one traces back to a rare-but-legal operation absent from the training
+// mix (paper §VIII: FPs "are exclusively linked to exceedingly rare device
+// commands").
+#include <cstdio>
+
+#include "benchsim/campaign.h"
+#include "guest/workload.h"
+#include "common/log.h"
+#include "report.h"
+
+namespace {
+
+struct PaperRow {
+  const char* device;
+  int fp10, fp20, fp30;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"fdc", 1, 2, 5},      {"usb-ehci", 3, 3, 3}, {"pcnet", 1, 5, 6},
+    {"sdhci", 4, 7, 7},    {"scsi-esp", 1, 3, 4},
+};
+
+}  // namespace
+
+int main() {
+  using namespace sedspec;
+  set_log_level(LogLevel::kError);
+  bench_report::title("Table II — False Positives Over Time (virtual hours)");
+
+  std::printf("%-10s | %8s %8s %8s | %8s %8s %8s | %10s %8s\n", "Device",
+              "10h", "20h", "30h", "paper10", "paper20", "paper30", "cases",
+              "FPR");
+  bench_report::rule();
+
+  uint64_t seed = 5;
+  for (const std::string& name : guest::workload_names()) {
+    auto wl = guest::make_workload(name);
+    checker::CheckerConfig config;
+    config.mode = checker::Mode::kEnhancement;
+    wl->build_and_deploy(config);
+    const auto result = benchsim::run_fp_campaign(
+        *wl, /*total_hours=*/30.0, benchsim::default_rare_prob(name),
+        seed++, {10.0, 20.0, 30.0});
+    const PaperRow* paper = nullptr;
+    for (const auto& row : kPaper) {
+      if (name == row.device) {
+        paper = &row;
+      }
+    }
+    std::printf("%-10s | %8llu %8llu %8llu | %8d %8d %8d | %10llu %7.3f%%\n",
+                name.c_str(),
+                (unsigned long long)result.snapshots[0].false_positives,
+                (unsigned long long)result.snapshots[1].false_positives,
+                (unsigned long long)result.snapshots[2].false_positives,
+                paper->fp10, paper->fp20, paper->fp30,
+                (unsigned long long)result.total_cases, result.fpr() * 100.0);
+  }
+  bench_report::rule();
+  std::printf(
+      "Shape check: FP counts stay in the single digits over 30 hours and\n"
+      "grow (weakly) with time; FPRs stay in the paper's 0.09%%-0.17%% "
+      "band.\n");
+
+  // Per-mode breakdown (the paper runs each interaction mode separately;
+  // shorter campaigns here — the per-mode FPRs must all sit in the same
+  // band, since rare-command injection is mode-independent).
+  std::printf(
+      "\nPer-mode false-positive rates (8 virtual hours each; at this scale\n"
+      "each campaign expects only ~1 rare operation, so zero cells are\n"
+      "ordinary Poisson noise — the point is that no mode is an outlier):\n");
+  std::printf("%-10s | %12s %12s %12s\n", "Device", "sequential", "random",
+              "random+delay");
+  bench_report::rule(56);
+  const guest::InteractionMode kModes[] = {
+      guest::InteractionMode::kSequential, guest::InteractionMode::kRandom,
+      guest::InteractionMode::kRandomWithDelay};
+  for (const std::string& name : guest::workload_names()) {
+    double fprs[3] = {0, 0, 0};
+    for (int m = 0; m < 3; ++m) {
+      auto wl = guest::make_workload(name);
+      checker::CheckerConfig config;
+      config.mode = checker::Mode::kEnhancement;
+      wl->build_and_deploy(config);
+      const auto r = benchsim::run_fp_campaign(
+          *wl, 8.0, benchsim::default_rare_prob(name), seed++, {8.0},
+          kModes[m]);
+      fprs[m] = r.fpr() * 100.0;
+    }
+    std::printf("%-10s | %11.3f%% %11.3f%% %11.3f%%\n", name.c_str(), fprs[0],
+                fprs[1], fprs[2]);
+  }
+  bench_report::rule(56);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table III reproduction: the main SEDSpec results.
+//
+// Left half: the CVE case studies — for each vulnerability, each check
+// strategy is activated alone (as in §VII-B2) and the matrix of which
+// strategies detect the exploit is printed next to the paper's, together
+// with the ground truth (unprotected compromise) and whether protection
+// stopped the damage.
+//
+// Right half: per-device false-positive rate (10-virtual-hour campaign) and
+// effective coverage (training spec vs a one-virtual-hour benign fuzz).
+#include <cstdio>
+#include <map>
+
+#include "benchsim/campaign.h"
+#include "guest/exploits.h"
+#include "guest/workload.h"
+#include "common/log.h"
+#include "report.h"
+
+namespace {
+
+struct PaperDeviceRow {
+  const char* device;
+  double fpr_percent;
+  double coverage_percent;
+};
+
+constexpr PaperDeviceRow kPaperDevice[] = {
+    {"fdc", 0.14, 95.9},   {"usb-ehci", 0.10, 97.3}, {"pcnet", 0.11, 96.2},
+    {"sdhci", 0.09, 93.5}, {"scsi-esp", 0.17, 93.8},
+};
+
+}  // namespace
+
+int main() {
+  using namespace sedspec;
+  set_log_level(LogLevel::kError);
+  using bench_report::mark;
+
+  bench_report::title("Table III — Main results: CVE detection matrix");
+  std::printf("%-15s %-9s %-8s | %5s %5s %5s | %-8s | %-7s %-9s\n", "CVE",
+              "Device", "QEMU", "Param", "Indir", "Cond", "paper", "detect",
+              "prevented");
+  bench_report::rule();
+  for (const auto& scenario : guest::exploit_scenarios()) {
+    const auto& info = scenario.info();
+    const auto m = scenario.evaluate();
+    char paper[16];
+    std::snprintf(paper, sizeof(paper), "%c%c%c",
+                  info.expect_parameter ? 'P' : '.',
+                  info.expect_indirect ? 'I' : '.',
+                  info.expect_conditional ? 'C' : '.');
+    std::printf("%-15s %-9s %-8s | %5s %5s %5s | %-8s | %-7s %-9s\n",
+                info.cve.c_str(), info.device.c_str(),
+                info.qemu_version.c_str(), mark(m.parameter),
+                mark(m.indirect), mark(m.conditional), paper,
+                mark(m.detected), mark(!m.protected_compromised));
+  }
+  bench_report::rule();
+  std::printf(
+      "P/I/C = strategies the paper reports. CVE-2016-1568 is the paper's\n"
+      "(and our) known miss: a use-after-free with no device-state "
+      "transition.\n");
+
+  bench_report::title(
+      "Table III — Per-device false-positive rate and effective coverage");
+  std::printf("%-10s | %9s %9s | %9s %9s\n", "Device", "FPR", "paper",
+              "coverage", "paper");
+  bench_report::rule(58);
+  uint64_t seed = 7;
+  for (const auto& row : kPaperDevice) {
+    auto wl = guest::make_workload(row.device);
+    const double coverage = benchsim::run_effective_coverage(*wl, seed++);
+
+    auto wl2 = guest::make_workload(row.device);
+    checker::CheckerConfig config;
+    config.mode = checker::Mode::kEnhancement;
+    wl2->build_and_deploy(config);
+    const auto fp = benchsim::run_fp_campaign(
+        *wl2, /*total_hours=*/10.0, benchsim::default_rare_prob(row.device),
+        seed++, {10.0});
+    std::printf("%-10s | %8.3f%% %8.2f%% | %8.1f%% %8.1f%%\n", row.device,
+                fp.fpr() * 100.0, row.fpr_percent, coverage * 100.0,
+                row.coverage_percent);
+  }
+  bench_report::rule(58);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared formatting helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace bench_report {
+
+inline void title(const std::string& text) {
+  std::printf("\n=== %s ===\n\n", text.c_str());
+}
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline const char* mark(bool v) { return v ? "yes" : "-"; }
+
+inline std::string human_size(size_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%zuM", bytes >> 20);
+  } else if (bytes >= (1u << 10)) {
+    std::snprintf(buf, sizeof(buf), "%zuK", bytes >> 10);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", bytes);
+  }
+  return buf;
+}
+
+}  // namespace bench_report

@@ -1,0 +1,181 @@
+// full_vm: one virtual machine, five protected emulated devices.
+//
+// Builds the paper's whole evaluation fleet on a single I/O bus — FDC and
+// ESP SCSI on PMIO, SDHCI and USB EHCI on MMIO, PCNet on PMIO — trains an
+// execution specification per device, deploys all five ES-Checkers behind
+// one CheckerSet proxy, runs mixed guest I/O, and then lets a hostile
+// tenant attack two of the devices. The compromised devices are halted;
+// the rest of the VM keeps running.
+#include <cstdio>
+
+#include "checker/checker_set.h"
+#include "common/log.h"
+#include "devices/ehci.h"
+#include "devices/esp_scsi.h"
+#include "devices/fdc.h"
+#include "devices/pcnet.h"
+#include "devices/sdhci.h"
+#include "guest/ehci_driver.h"
+#include "guest/esp_driver.h"
+#include "guest/fdc_driver.h"
+#include "guest/pcnet_driver.h"
+#include "guest/sdhci_driver.h"
+#include "sedspec/pipeline.h"
+
+using namespace sedspec;
+using namespace sedspec::devices;
+
+int main() {
+  set_log_level(LogLevel::kOff);
+
+  GuestMemory mem(1 << 20);
+  // Two of the five devices run unpatched ("old QEMU"), as a hostile tenant
+  // would hope.
+  FdcDevice fdc(FdcDevice::Vulns{.cve_2015_3456 = true});
+  SdhciDevice sdhci(SdhciDevice::Vulns{.cve_2021_3409 = true});
+  EhciDevice ehci(&mem);
+  PcnetDevice pcnet(&mem);
+  EspScsiDevice esp(&mem);
+
+  IoBus bus;
+  bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &fdc);
+  bus.map(IoSpace::kPio, EspScsiDevice::kBasePort, EspScsiDevice::kPortSpan,
+          &esp);
+  bus.map(IoSpace::kPio, PcnetDevice::kBasePort, PcnetDevice::kPortSpan,
+          &pcnet);
+  bus.map(IoSpace::kMmio, SdhciDevice::kBaseAddr, SdhciDevice::kMmioSpan,
+          &sdhci);
+  bus.map(IoSpace::kMmio, EhciDevice::kBaseAddr, EhciDevice::kMmioSpan,
+          &ehci);
+
+  std::printf("training execution specifications for all five devices...\n");
+  std::vector<uint8_t> block(512, 0x42);
+  std::vector<uint8_t> back(512);
+
+  spec::EsCfg fdc_cfg = pipeline::build_spec(fdc, [&] {
+    guest::FdcDriver drv(&bus);
+    drv.reset();
+    drv.specify();
+    drv.write_sector(0, 0, 1, block);
+    drv.read_sector(0, 0, 1, back);
+  });
+  spec::EsCfg sdhci_cfg = pipeline::build_spec(sdhci, [&] {
+    guest::SdhciDriver drv(&bus);
+    drv.init_card();
+    drv.write_block(0, block);
+    drv.read_block(0, back);
+    drv.write_block_with_reprogram(1, block);
+  });
+  spec::EsCfg ehci_cfg = pipeline::build_spec(ehci, [&] {
+    guest::EhciDriver drv(&bus, &mem);
+    drv.start_controller();
+    drv.interrupt_poll();
+    drv.write_block(0, block);
+    drv.read_block(0, back);
+  });
+  spec::EsCfg pcnet_cfg = pipeline::build_spec(pcnet, [&] {
+    guest::PcnetDriver drv(&bus, &mem);
+    drv.setup({.tx_ring_len = 16,
+               .rx_ring_len = 16,
+               .loopback = true,
+               .append_fcs = true});
+    for (int i = 0; i < 3; ++i) {
+      drv.send(std::vector<uint8_t>(200 + 100 * static_cast<size_t>(i), 0x33),
+               1);
+      (void)drv.poll_rx();
+      drv.ack_irq();
+    }
+  });
+  spec::EsCfg esp_cfg = pipeline::build_spec(esp, [&] {
+    guest::EspDriver drv(&bus, &mem);
+    drv.bus_reset();
+    (void)drv.inquiry(true);
+    drv.write_blocks(0, 1, block);
+    drv.read_blocks(0, 1, back);
+  });
+
+  checker::CheckerSet set;
+  set.attach(fdc_cfg, fdc);
+  set.attach(sdhci_cfg, sdhci);
+  set.attach(ehci_cfg, ehci);
+  set.attach(pcnet_cfg, pcnet);
+  set.attach(esp_cfg, esp);
+  bus.set_proxy(&set);
+  std::printf("deployed %zu checkers behind one bus proxy\n\n", set.size());
+
+  std::printf("mixed guest I/O across the fleet...\n");
+  {
+    guest::FdcDriver f(&bus);
+    f.write_sector(1, 0, 2, block);
+    guest::SdhciDriver s(&bus);
+    s.write_block(2, block);
+    guest::EhciDriver e(&bus, &mem);
+    e.read_block(0, back);
+    guest::PcnetDriver p(&bus, &mem);
+    p.setup({.tx_ring_len = 16,
+             .rx_ring_len = 16,
+             .loopback = true,
+             .append_fcs = true});
+    p.send(std::vector<uint8_t>(300, 0x77), 1);
+    (void)p.poll_rx();
+    p.ack_irq();
+    guest::EspDriver sc(&bus, &mem);
+    sc.read_blocks(0, 1, back);
+  }
+  for (const Device* d : std::initializer_list<const Device*>{
+           &fdc, &sdhci, &ehci, &pcnet, &esp}) {
+    std::printf("  %-9s %6llu rounds checked, blocked %llu\n",
+                d->name().c_str(),
+                (unsigned long long)set.checker_for(*d)->stats().rounds,
+                (unsigned long long)set.checker_for(*d)->stats().blocked);
+  }
+
+  std::printf("\nhostile tenant attacks the FDC (Venom) and the SD card "
+              "(CVE-2021-3409)...\n");
+  {
+    guest::FdcDriver f(&bus);
+    f.write_fifo(FdcDevice::kCmdDriveSpec);
+    for (int i = 0; i < 700; ++i) {
+      f.write_fifo(0x01);
+    }
+    guest::SdhciDriver s(&bus);
+    s.w16(SdhciDevice::kRegBlkCnt, 1);
+    s.w32(SdhciDevice::kRegArg, 1);
+    s.w16(SdhciDevice::kRegCmd,
+          static_cast<uint16_t>(SdhciDevice::kCmdWriteSingle) << 8);
+    for (int i = 0; i < 64; ++i) {
+      s.w8(SdhciDevice::kRegBData, 0x41);
+    }
+    s.w16(SdhciDevice::kRegBlkSize, 16);
+    s.w8(SdhciDevice::kRegBData, 0x42);
+  }
+  std::printf("  fdc:   halted=%s corrupted=%s\n",
+              fdc.halted() ? "yes" : "no",
+              fdc.incidents().empty() ? "no" : "YES");
+  std::printf("  sdhci: halted=%s corrupted=%s\n",
+              sdhci.halted() ? "yes" : "no",
+              sdhci.incidents().empty() ? "no" : "YES");
+
+  std::printf("\nthe rest of the VM is unaffected:\n");
+  {
+    guest::EspDriver sc(&bus, &mem);
+    std::vector<uint8_t> data(512, 0x5c);
+    sc.write_blocks(3, 1, data);
+    std::vector<uint8_t> check(512);
+    sc.read_blocks(3, 1, check);
+    std::printf("  scsi-esp round trip: %s\n",
+                check == data ? "ok" : "FAILED");
+    guest::EhciDriver e(&bus, &mem);
+    e.write_block(4, data);
+    std::vector<uint8_t> check2(512);
+    e.read_block(4, check2);
+    std::printf("  usb-ehci round trip: %s\n",
+                check2 == data ? "ok" : "FAILED");
+  }
+  const bool good = fdc.halted() && sdhci.halted() &&
+                    fdc.incidents().empty() && sdhci.incidents().empty() &&
+                    !esp.halted() && !ehci.halted() && !pcnet.halted();
+  std::printf("\n%s\n", good ? "containment successful."
+                             : "UNEXPECTED containment failure!");
+  return good ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// storage_guard: protect a whole bank of emulated storage controllers.
+//
+// The scenario the paper's introduction motivates: a multi-tenant host
+// exposes several storage devices (USB mass storage over EHCI, an SD card
+// over SDHCI, a SCSI disk). This example trains an execution specification
+// per device, deploys checkers in ENHANCEMENT mode (availability first:
+// only parameter-check findings block), runs a mixed I/O load, and prints a
+// per-device protection report — including what happens when a tenant gets
+// exploity (the CVE-2021-3409 BLKSIZE attack against the SD controller).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/vclock.h"
+#include "devices/sdhci.h"
+#include "guest/sdhci_driver.h"
+#include "guest/workload.h"
+#include "sedspec/pipeline.h"
+
+using namespace sedspec;
+
+int main() {
+  set_log_level(LogLevel::kOff);
+
+  std::printf("Bringing up the storage bank with SEDSpec enhancement mode\n");
+  std::vector<std::unique_ptr<guest::DeviceWorkload>> bank;
+  for (const char* name : {"usb-ehci", "sdhci", "scsi-esp"}) {
+    auto wl = guest::make_workload(name);
+    checker::CheckerConfig config;
+    config.mode = checker::Mode::kEnhancement;
+    wl->build_and_deploy(config);
+    std::printf("  %-9s spec: %3zu blocks, %2zu state params, "
+                "%zu sync points\n",
+                wl->name().c_str(), wl->spec().blocks.size(),
+                wl->spec().params.size(), wl->spec().sync_locals.size());
+    bank.push_back(std::move(wl));
+  }
+
+  std::printf("\nMixed tenant I/O (reads, writes, metadata ops)...\n");
+  Rng rng(2026);
+  VirtualClock clock;
+  for (int round = 0; round < 8; ++round) {
+    for (auto& wl : bank) {
+      wl->test_case(guest::InteractionMode::kRandom, rng, clock,
+                    /*include_rare=*/round == 5);
+    }
+  }
+  for (auto& wl : bank) {
+    const auto& s = wl->checker()->stats();
+    std::printf("  %-9s %7llu rounds checked, %llu warnings, %llu blocked\n",
+                wl->name().c_str(), (unsigned long long)s.rounds,
+                (unsigned long long)s.warnings, (unsigned long long)s.blocked);
+  }
+  std::printf("  (warnings trace back to rare-but-legal commands; nothing "
+              "was blocked)\n");
+
+  std::printf("\nA hostile tenant attacks the SD controller "
+              "(CVE-2021-3409)...\n");
+  devices::SdhciDevice sd(devices::SdhciDevice::Vulns{.cve_2021_3409 = true});
+  IoBus bus;
+  bus.map(IoSpace::kMmio, devices::SdhciDevice::kBaseAddr,
+          devices::SdhciDevice::kMmioSpan, &sd);
+  spec::EsCfg cfg = pipeline::build_spec(sd, [&] {
+    guest::SdhciDriver drv(&bus);
+    drv.init_card();
+    std::vector<uint8_t> block(512, 0x42);
+    drv.write_block(0, block);
+    std::vector<uint8_t> back(512);
+    drv.read_block(0, back);
+    drv.write_block_with_reprogram(1, block);
+  });
+  checker::CheckerConfig enh;
+  enh.mode = checker::Mode::kEnhancement;
+  auto checker = pipeline::deploy(cfg, sd, bus, enh);
+
+  guest::SdhciDriver attacker(&bus);
+  attacker.init_card();
+  attacker.w16(devices::SdhciDevice::kRegBlkCnt, 1);
+  attacker.w32(devices::SdhciDevice::kRegArg, 1);
+  attacker.w16(devices::SdhciDevice::kRegCmd,
+               static_cast<uint16_t>(devices::SdhciDevice::kCmdWriteSingle)
+                   << 8);
+  for (int i = 0; i < 64; ++i) {
+    attacker.w8(devices::SdhciDevice::kRegBData, 0x41);
+  }
+  attacker.w16(devices::SdhciDevice::kRegBlkSize, 16);  // shrink mid-transfer
+  attacker.w8(devices::SdhciDevice::kRegBData, 0x42);   // underflow here
+
+  std::printf("  parameter-check violations: %llu, access blocked: %s, "
+              "device corrupted: %s\n",
+              (unsigned long long)checker->stats().violations_by_strategy[0],
+              checker->stats().blocked > 0 ? "yes" : "no",
+              sd.incidents().empty() ? "no" : "yes");
+  std::printf("  even in availability-first enhancement mode, the parameter "
+              "check stops the exploit.\n");
+  return checker->stats().blocked > 0 && sd.incidents().empty() ? 0 : 1;
+}

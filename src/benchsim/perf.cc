@@ -1,0 +1,238 @@
+#include "benchsim/perf.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/assert.h"
+#include "devices/pcnet.h"
+#include "guest/pcnet_driver.h"
+
+namespace sedspec::benchsim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void apply_latency_model(guest::DeviceWorkload& workload) {
+  workload.bus().set_access_latency_ns(kVmExitNs);
+  workload.device().set_backend_latency_ns(
+      workload.is_storage() ? kStorageBackendNs : kNetBackendNs);
+}
+
+StoragePoint measure_storage(guest::DeviceWorkload& workload,
+                             size_t block_bytes, size_t budget_bytes) {
+  SEDSPEC_REQUIRE(workload.is_storage());
+  SEDSPEC_REQUIRE(block_bytes % 512 == 0 && block_bytes > 0);
+  const uint64_t capacity = workload.storage_capacity();
+  SEDSPEC_REQUIRE(block_bytes <= capacity);
+  // Keep the touched range inside the medium and the run time bounded.
+  const size_t ops = std::max<size_t>(
+      3, std::min<size_t>(budget_bytes / block_bytes,
+                          (capacity - block_bytes) / block_bytes));
+  std::vector<uint8_t> buf(block_bytes);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 13 + 7);
+  }
+
+  StoragePoint point;
+  point.block_bytes = block_bytes;
+
+  // Each operation's cost is deterministic work plus fixed latency-model
+  // waits, so the per-operation MINIMUM is the noise-robust estimate on a
+  // shared machine.
+  double w_min = 1e18;
+  for (size_t i = 0; i < ops; ++i) {
+    const auto start = Clock::now();
+    workload.bulk_write(static_cast<uint32_t>(i * (block_bytes / 512)), buf);
+    w_min = std::min(w_min, seconds_since(start));
+  }
+  point.write_mbps = static_cast<double>(block_bytes) / (w_min * 1e6);
+  point.write_latency_us = w_min * 1e6;
+
+  double r_min = 1e18;
+  for (size_t i = 0; i < ops; ++i) {
+    const auto start = Clock::now();
+    workload.bulk_read(static_cast<uint32_t>(i * (block_bytes / 512)), buf);
+    r_min = std::min(r_min, seconds_since(start));
+  }
+  point.read_mbps = static_cast<double>(block_bytes) / (r_min * 1e6);
+  point.read_latency_us = r_min * 1e6;
+  return point;
+}
+
+namespace {
+
+/// Self-contained PCNet bench harness (wire or loopback mode).
+struct PcnetBench {
+  GuestMemory mem{1 << 20};
+  devices::PcnetDevice device{&mem};
+  IoBus bus;
+  guest::PcnetDriver driver{&bus, &mem};
+  spec::EsCfg cfg;
+  std::unique_ptr<checker::EsChecker> checker;
+
+  explicit PcnetBench(bool with_checker) {
+    bus.map(IoSpace::kPio, devices::PcnetDevice::kBasePort,
+            devices::PcnetDevice::kPortSpan, &device);
+    if (with_checker) {
+      cfg = pipeline::build_spec(device, [this] { train_body(); });
+      checker = pipeline::deploy(cfg, device, bus, {});
+    }
+    // Latency model is enabled only for the measured streams, not training.
+    bus.set_access_latency_ns(kVmExitNs);
+    device.set_backend_latency_ns(kNetBackendNs);
+  }
+
+  void train_body() {
+    guest::PcnetDriver drv(&bus, &mem);
+    auto pattern = [](size_t n, uint64_t seed) {
+      std::vector<uint8_t> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<uint8_t>(seed * 31 + i * 7);
+      }
+      return out;
+    };
+    drv.setup({.tx_ring_len = 16,
+               .rx_ring_len = 16,
+               .loopback = true,
+               .append_fcs = true});
+    for (int chunks : {1, 2}) {
+      for (size_t size : {60u, 1460u}) {
+        drv.send(pattern(size, size), chunks);
+        (void)drv.poll_rx();
+        drv.ack_irq();
+      }
+    }
+    drv.setup({.tx_ring_len = 16,
+               .rx_ring_len = 16,
+               .loopback = false,
+               .append_fcs = false});
+    // Enough traffic to wrap both descriptor rings.
+    for (int i = 0; i < 20; ++i) {
+      drv.send(pattern(1460, static_cast<uint64_t>(i)), 1);
+      drv.ack_irq();
+      device.clear_tx_log();
+      (void)device.receive_frame(pattern(1460, static_cast<uint64_t>(i)));
+      (void)drv.poll_rx();
+      drv.ack_irq();
+    }
+    drv.setup({.tx_ring_len = 16,
+               .rx_ring_len = 16,
+               .loopback = true,
+               .append_fcs = true});
+    for (int i = 0; i < 20; ++i) {
+      drv.send(pattern(64, static_cast<uint64_t>(i)), 1);
+      (void)drv.poll_rx();
+      drv.ack_irq();
+    }
+  }
+
+  void wire_mode() {
+    driver.setup({.tx_ring_len = 16,
+                  .rx_ring_len = 16,
+                  .loopback = false,
+                  .append_fcs = false});
+  }
+  void loop_mode() {
+    driver.setup({.tx_ring_len = 16,
+                  .rx_ring_len = 16,
+                  .loopback = true,
+                  .append_fcs = true});
+  }
+};
+
+constexpr size_t kFrameSize = 1460;
+
+double stream_up(PcnetBench& b, int frames, bool tcp) {
+  const std::vector<uint8_t> frame(kFrameSize, 0x55);
+  const std::vector<uint8_t> ack(64, 0x11);
+  const auto start = Clock::now();
+  for (int i = 0; i < frames; ++i) {
+    b.driver.send(frame, 1);
+    b.device.clear_tx_log();
+    if (tcp && i % 4 == 3) {
+      // Reverse ACK segment from the peer.
+      (void)b.device.receive_frame(ack);
+      (void)b.driver.poll_rx();
+      b.driver.ack_irq();
+    } else if (i % 8 == 7) {
+      b.driver.ack_irq();
+    }
+  }
+  return seconds_since(start);
+}
+
+double stream_down(PcnetBench& b, int frames, bool tcp) {
+  const std::vector<uint8_t> frame(kFrameSize, 0xaa);
+  const std::vector<uint8_t> ack(64, 0x22);
+  const auto start = Clock::now();
+  for (int i = 0; i < frames; ++i) {
+    (void)b.device.receive_frame(frame);
+    (void)b.driver.rcsr(0);  // ISR reads the status register first
+    (void)b.driver.poll_rx();
+    b.driver.ack_irq();
+    if (tcp && i % 4 == 3) {
+      b.driver.send(ack, 1);
+      b.device.clear_tx_log();
+    }
+  }
+  return seconds_since(start);
+}
+
+double to_mbps(int frames, double secs) {
+  return static_cast<double>(frames) * kFrameSize * 8.0 / (secs * 1e6);
+}
+
+}  // namespace
+
+PcnetBandwidth measure_pcnet_bandwidth(bool with_checker,
+                                       int frames_per_run) {
+  // Deterministic work + fixed busy-waits: the minimum over repeats is the
+  // noise-robust estimate on a shared machine.
+  PcnetBench bench(with_checker);
+  bench.wire_mode();
+  constexpr int kRepeats = 5;
+  double tcp_up = 1e9, udp_up = 1e9, tcp_down = 1e9, udp_down = 1e9;
+  for (int r = 0; r < kRepeats; ++r) {
+    tcp_up = std::min(tcp_up, stream_up(bench, frames_per_run, true));
+    udp_up = std::min(udp_up, stream_up(bench, frames_per_run, false));
+    tcp_down = std::min(tcp_down, stream_down(bench, frames_per_run, true));
+    udp_down = std::min(udp_down, stream_down(bench, frames_per_run, false));
+  }
+  PcnetBandwidth out;
+  out.tcp_up_mbps = to_mbps(frames_per_run, tcp_up);
+  out.udp_up_mbps = to_mbps(frames_per_run, udp_up);
+  out.tcp_down_mbps = to_mbps(frames_per_run, tcp_down);
+  out.udp_down_mbps = to_mbps(frames_per_run, udp_down);
+  return out;
+}
+
+double measure_pcnet_ping(bool with_checker, int pings) {
+  PcnetBench bench(with_checker);
+  bench.loop_mode();
+  const std::vector<uint8_t> echo(64, 0x33);
+  double secs = 1e9;
+  for (int r = 0; r < 5; ++r) {
+    const auto start = Clock::now();
+    for (int i = 0; i < pings; ++i) {
+      bench.driver.send(echo, 1);    // ICMP echo request...
+      (void)bench.driver.poll_rx();  // ...looped back as the reply
+      bench.driver.ack_irq();
+    }
+    secs = std::min(secs, seconds_since(start));
+  }
+  // Raw per-echo cost of the emulated path. The paper's guest-visible RTT
+  // (~0.65 ms) is dominated by guest scheduling and the NAT stack, which
+  // SEDSpec does not touch; the Figure 5 bench adds that fixed component
+  // when reporting RTTs so the overhead ratio is comparable.
+  return secs * 1e3 / pings;
+}
+
+}  // namespace sedspec::benchsim

@@ -1,0 +1,59 @@
+// Performance measurement harnesses (paper §VII-C).
+//
+// measure_storage — iozone-style: read/write throughput and per-operation
+// latency over a block-size sweep, through the full bus path (and therefore
+// through the ES-Checker when one is deployed). The paper's storage figures
+// are normalized to the unprotected device, so only the relative cost of
+// the checker matters.
+//
+// measure_pcnet_bandwidth / measure_pcnet_ping — iperf/ping-style: TCP- and
+// UDP-shaped frame streams in both directions (TCP adds reverse ACK
+// traffic), and an echo RTT over the loopback path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "guest/workload.h"
+
+namespace sedspec::benchsim {
+
+struct StoragePoint {
+  size_t block_bytes = 0;
+  double write_mbps = 0;
+  double read_mbps = 0;
+  double write_latency_us = 0;  // per block operation
+  double read_latency_us = 0;
+};
+
+/// Measures bulk I/O at one block size on an already-constructed workload
+/// (deployed or not). `budget_bytes` bounds the touched range.
+StoragePoint measure_storage(guest::DeviceWorkload& workload,
+                             size_t block_bytes, size_t budget_bytes);
+
+/// Latency model constants used by the performance benchmarks (see
+/// DESIGN.md §1): the VM-exit + KVM->QEMU dispatch cost each trapped
+/// register access pays, and the host-backend (disk image syscall / tap
+/// write) cost per device backend operation.
+inline constexpr uint64_t kVmExitNs = 4'000;
+inline constexpr uint64_t kStorageBackendNs = 12'000;
+inline constexpr uint64_t kNetBackendNs = 10'000;
+
+/// Applies the latency model to a workload's bus and device.
+void apply_latency_model(guest::DeviceWorkload& workload);
+
+struct PcnetBandwidth {
+  double tcp_up_mbps = 0;
+  double tcp_down_mbps = 0;
+  double udp_up_mbps = 0;
+  double udp_down_mbps = 0;
+};
+
+/// Runs the four iperf-style streams on a fresh PCNet harness.
+/// `with_checker` trains and deploys SEDSpec first.
+PcnetBandwidth measure_pcnet_bandwidth(bool with_checker, int frames_per_run);
+
+/// Average echo RTT (milliseconds) over `pings` loopback echoes.
+double measure_pcnet_ping(bool with_checker, int pings);
+
+}  // namespace sedspec::benchsim

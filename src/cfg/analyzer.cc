@@ -1,0 +1,172 @@
+#include "cfg/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "expr/expr.h"
+
+namespace sedspec::cfg {
+
+std::string selection_rule_name(SelectionRule rule) {
+  switch (rule) {
+    case SelectionRule::kRule1Register:
+      return "Rule 1: physical register";
+    case SelectionRule::kRule2Buffer:
+      return "Rule 2: fixed-length buffer";
+    case SelectionRule::kRule2Counting:
+      return "Rule 2: counting/indexing";
+    case SelectionRule::kRule2FuncPtr:
+      return "Rule 2: function pointer";
+    case SelectionRule::kControlFlowDep:
+      return "control-flow dependency";
+  }
+  return "?";
+}
+
+bool ParamSelection::is_selected(ParamId param) const {
+  return std::any_of(params.begin(), params.end(),
+                     [&](const SelectedParam& p) { return p.param == param; });
+}
+
+std::vector<ParamId> ParamSelection::param_ids() const {
+  std::vector<ParamId> out;
+  out.reserve(params.size());
+  for (const SelectedParam& p : params) {
+    out.push_back(p.param);
+  }
+  return out;
+}
+
+namespace {
+
+void collect_params(const sedspec::ExprRef& e, std::set<ParamId>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  sedspec::visit(*e, [&](const sedspec::Expr& n) {
+    if (n.kind == sedspec::ExprKind::kParam ||
+        n.kind == sedspec::ExprKind::kBufLoad) {
+      out->insert(n.param);
+    }
+  });
+}
+
+ParamSelection run_selection(const DeviceProgram& program,
+                             const std::set<SiteId>& reachable,
+                             std::set<FuncAddr> foreign) {
+  ParamSelection sel;
+  sel.foreign_addrs = std::move(foreign);
+
+  // 1. Fields that influence control flow: referenced by a guard or a
+  //    command-decision expression, or invoked at an indirect site.
+  std::set<ParamId> flow_influencing;
+  // 2. Fields touched by any reachable DSOD (targets and index expressions).
+  std::set<ParamId> dsod_touched;
+
+  for (SiteId id : reachable) {
+    const sedspec::SiteDesc& site = program.site(id);
+    collect_params(site.guard, &flow_influencing);
+    collect_params(site.cmd_expr, &flow_influencing);
+    if (site.kind == sedspec::BlockKind::kIndirect) {
+      flow_influencing.insert(site.fp_param);
+    }
+    for (const sedspec::Stmt& s : site.dsod) {
+      if (s.kind == sedspec::StmtKind::kAssignParam) {
+        dsod_touched.insert(s.param);
+      } else if (s.kind == sedspec::StmtKind::kBufStore ||
+                 s.kind == sedspec::StmtKind::kBufFill) {
+        dsod_touched.insert(s.param);
+        collect_params(s.index, &dsod_touched);
+      }
+      collect_params(s.value, &dsod_touched);
+      collect_params(s.count, &dsod_touched);
+    }
+  }
+
+  // Apply the two selection rules over every field of the control structure
+  // that the reachable code touches or branches on.
+  const sedspec::StateLayout& layout = program.layout();
+  for (size_t i = 0; i < layout.field_count(); ++i) {
+    const auto id = static_cast<ParamId>(i);
+    const sedspec::FieldDesc& f = layout.field(id);
+    const bool influences = flow_influencing.contains(id);
+    const bool touched = dsod_touched.contains(id) || influences;
+    if (!touched) {
+      continue;
+    }
+    switch (f.kind) {
+      case FieldKind::kRegister:
+        sel.params.push_back({id, SelectionRule::kRule1Register});
+        break;
+      case FieldKind::kBuffer:
+        sel.params.push_back({id, SelectionRule::kRule2Buffer});
+        break;
+      case FieldKind::kLength:
+      case FieldKind::kIndex:
+        sel.params.push_back({id, SelectionRule::kRule2Counting});
+        break;
+      case FieldKind::kFuncPtr:
+        sel.params.push_back({id, SelectionRule::kRule2FuncPtr});
+        break;
+      case FieldKind::kFlag:
+      case FieldKind::kOther:
+        // Needed for NBTD evaluation but outside both rules.
+        if (influences) {
+          sel.params.push_back({id, SelectionRule::kControlFlowDep});
+        }
+        break;
+    }
+  }
+
+  // Observation plan: every reachable conditional/indirect/command site plus
+  // every reachable site whose DSOD touches a selected parameter.
+  for (SiteId id : reachable) {
+    const sedspec::SiteDesc& site = program.site(id);
+    if (site.kind != sedspec::BlockKind::kPlain) {
+      sel.observation_sites.insert(id);
+      continue;
+    }
+    for (const sedspec::Stmt& s : site.dsod) {
+      std::set<ParamId> touched;
+      if (s.kind != sedspec::StmtKind::kAssignLocal) {
+        touched.insert(s.param);
+      }
+      collect_params(s.value, &touched);
+      collect_params(s.index, &touched);
+      collect_params(s.count, &touched);
+      const bool relevant = std::any_of(
+          touched.begin(), touched.end(),
+          [&](ParamId p) { return sel.is_selected(p); });
+      if (relevant) {
+        sel.observation_sites.insert(id);
+        break;
+      }
+    }
+  }
+  return sel;
+}
+
+}  // namespace
+
+ParamSelection analyze(const ItcCfg& cfg, const DeviceProgram& program) {
+  std::set<SiteId> reachable;
+  std::set<FuncAddr> foreign;
+  for (const auto& [addr, node] : cfg.nodes()) {
+    if (auto site = program.site_by_addr(addr); site.has_value()) {
+      reachable.insert(*site);
+    } else if (!program.is_function(addr)) {
+      foreign.insert(addr);
+    }
+  }
+  return run_selection(program, reachable, std::move(foreign));
+}
+
+ParamSelection analyze_static(const DeviceProgram& program) {
+  std::set<SiteId> reachable;
+  for (size_t i = 0; i < program.site_count(); ++i) {
+    reachable.insert(static_cast<SiteId>(i));
+  }
+  return run_selection(program, reachable, {});
+}
+
+}  // namespace sedspec::cfg

@@ -1,0 +1,74 @@
+// CFG analyzer: device-state parameter selection (paper §IV-B, Table I).
+//
+// Overlays the DeviceProgram ("source code") on the ITC-CFG (observed
+// control flow) to find the control-structure fields that influence control
+// flow, then filters them with the paper's two rules:
+//
+//   Rule 1 — variables corresponding to physical device registers;
+//   Rule 2 — variables associated with the dominant vulnerability classes:
+//            fixed-length buffers, counting/indexing variables, and
+//            function pointers.
+//
+// Fields that influence a guard but match neither rule (internal phase
+// flags and the like) are still tracked as control-flow dependencies so the
+// execution specification can evaluate its NBTD; they are reported under a
+// separate "control-flow dependency" rule tag and do not appear in the
+// Table I reproduction.
+//
+// The analyzer also emits the observation plan: the set of sites to
+// instrument for the device-state-change log — every conditional and
+// indirect site observed in the ITC-CFG, plus every site whose DSOD touches
+// a selected parameter (paper §IV-B: observation points are placed "at
+// locations that impact the direction of the control flows").
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfg/itc_cfg.h"
+#include "program/program.h"
+
+namespace sedspec::cfg {
+
+using sedspec::DeviceProgram;
+using sedspec::FieldKind;
+using sedspec::ParamId;
+using sedspec::SiteId;
+
+enum class SelectionRule : uint8_t {
+  kRule1Register,
+  kRule2Buffer,
+  kRule2Counting,  // length / index variables
+  kRule2FuncPtr,
+  kControlFlowDep,  // guard dependency outside both rules
+};
+
+[[nodiscard]] std::string selection_rule_name(SelectionRule rule);
+
+struct SelectedParam {
+  ParamId param = 0;
+  SelectionRule rule = SelectionRule::kRule1Register;
+};
+
+struct ParamSelection {
+  /// Selected device-state parameters, in layout order.
+  std::vector<SelectedParam> params;
+  /// Sites to instrument with observation points.
+  std::set<SiteId> observation_sites;
+  /// Sites observed in the ITC-CFG but absent from the program's address
+  /// range (shared-library / kernel noise that escaped the trace filter).
+  std::set<FuncAddr> foreign_addrs;
+
+  [[nodiscard]] bool is_selected(ParamId param) const;
+  [[nodiscard]] std::vector<ParamId> param_ids() const;
+};
+
+/// Runs the selection over an observed ITC-CFG.
+ParamSelection analyze(const ItcCfg& cfg, const DeviceProgram& program);
+
+/// Selection from the program alone (all sites assumed reachable). Used by
+/// tests and as a fallback when no trace is available.
+ParamSelection analyze_static(const DeviceProgram& program);
+
+}  // namespace sedspec::cfg

@@ -1,0 +1,82 @@
+#include "cfg/itc_cfg.h"
+
+#include "common/assert.h"
+
+namespace sedspec::cfg {
+
+const ItcNode* ItcCfg::node(FuncAddr addr) const {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+size_t ItcCfg::edge_count() const {
+  size_t n = 0;
+  for (const auto& [addr, node] : nodes_) {
+    n += node.succ_seq.size() + node.succ_taken.size() +
+         node.succ_not_taken.size();
+  }
+  return n;
+}
+
+void ItcCfgBuilder::feed(const trace::TraceEvent& event) {
+  using trace::EventKind;
+  switch (event.kind) {
+    case EventKind::kPge:
+      in_window_ = true;
+      window_fresh_ = true;
+      prev_.reset();
+      pending_tnt_.reset();
+      ++cfg_.windows_;
+      break;
+    case EventKind::kPgd:
+      if (prev_.has_value()) {
+        ++cfg_.nodes_[*prev_].window_ends;
+      }
+      in_window_ = false;
+      prev_.reset();
+      pending_tnt_.reset();
+      break;
+    case EventKind::kTnt:
+      if (!in_window_) {
+        break;
+      }
+      SEDSPEC_REQUIRE_MSG(!pending_tnt_.has_value(),
+                          "two TNT bits without an intervening TIP");
+      pending_tnt_ = event.taken;
+      break;
+    case EventKind::kTip: {
+      if (!in_window_) {
+        break;
+      }
+      ItcNode& node = cfg_.nodes_[event.addr];
+      node.addr = event.addr;
+      ++node.visits;
+      if (window_fresh_) {
+        cfg_.heads_.insert(event.addr);
+        window_fresh_ = false;
+      }
+      if (prev_.has_value()) {
+        ItcNode& from = cfg_.nodes_[*prev_];
+        if (pending_tnt_.has_value()) {
+          auto& edges = *pending_tnt_ ? from.succ_taken : from.succ_not_taken;
+          ++edges[event.addr];
+        } else {
+          ++from.succ_seq[event.addr];
+        }
+      }
+      prev_ = event.addr;
+      pending_tnt_.reset();
+      break;
+    }
+  }
+}
+
+void ItcCfgBuilder::feed_all(const std::vector<trace::TraceEvent>& events) {
+  for (const trace::TraceEvent& e : events) {
+    feed(e);
+  }
+}
+
+ItcCfg ItcCfgBuilder::take() { return std::move(cfg_); }
+
+}  // namespace sedspec::cfg

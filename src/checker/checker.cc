@@ -1,0 +1,508 @@
+#include "checker/checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+#include "expr/eval.h"
+
+namespace sedspec::checker {
+
+using sedspec::EvalCtx;
+using sedspec::EvalDiag;
+using sedspec::ExprRef;
+using sedspec::Stmt;
+using sedspec::StmtKind;
+using spec::CondDir;
+using spec::EsBlock;
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kParameter:
+      return "parameter check";
+    case Strategy::kIndirectJump:
+      return "indirect jump check";
+    case Strategy::kConditionalJump:
+      return "conditional jump check";
+  }
+  return "?";
+}
+
+Severity severity_of(Strategy s) {
+  switch (s) {
+    case Strategy::kParameter:
+      return Severity::kCritical;
+    case Strategy::kIndirectJump:
+      return Severity::kHigh;
+    case Strategy::kConditionalJump:
+      return Severity::kWarning;
+  }
+  return Severity::kWarning;
+}
+
+std::string severity_name(Severity s) {
+  switch (s) {
+    case Severity::kCritical:
+      return "critical";
+    case Severity::kHigh:
+      return "high";
+    case Severity::kWarning:
+      return "warning";
+  }
+  return "?";
+}
+
+bool CheckResult::any(Strategy s) const {
+  for (const Violation& v : violations) {
+    if (v.strategy == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+EsChecker::EsChecker(const spec::EsCfg* cfg, Device* device,
+                     CheckerConfig config)
+    : cfg_(cfg),
+      device_(device),
+      config_(config),
+      shadow_(&device->program().layout()) {
+  SEDSPEC_REQUIRE(cfg != nullptr && device != nullptr);
+  SEDSPEC_REQUIRE_MSG(cfg->device_name == device->program().device_name(),
+                      "specification/device mismatch");
+  shadow_.copy_from(device->state());
+  build_aux();
+  if (config_.rollback_on_violation) {
+    checkpoint_ = std::make_unique<sedspec::StateArena>(
+        &device->program().layout());
+    checkpoint_->copy_from(device->state());
+  }
+}
+
+void EsChecker::resync() {
+  shadow_.copy_from(device_->state());
+  active_cmd_.reset();
+}
+
+bool EsChecker::strategy_enabled(Strategy s) const {
+  switch (s) {
+    case Strategy::kParameter:
+      return config_.enable_parameter;
+    case Strategy::kIndirectJump:
+      return config_.enable_indirect;
+    case Strategy::kConditionalJump:
+      return config_.enable_conditional;
+  }
+  return false;
+}
+
+bool EsChecker::index_is_state_derived(const ExprRef& e) const {
+  if (e == nullptr) {
+    return false;
+  }
+  bool has_param = false;
+  bool has_sync_local = false;
+  sedspec::visit(*e, [&](const sedspec::Expr& n) {
+    if (n.kind == sedspec::ExprKind::kParam ||
+        n.kind == sedspec::ExprKind::kBufLoad) {
+      if (cfg_->is_param(n.param)) {
+        has_param = true;
+      }
+    } else if (n.kind == sedspec::ExprKind::kLocal) {
+      if (cfg_->sync_locals.contains(n.local)) {
+        has_sync_local = true;
+      }
+    }
+  });
+  return has_param && !has_sync_local;
+}
+
+void EsChecker::build_aux() {
+  const size_t site_count = device_->program().site_count();
+  aux_.assign(site_count, BlockAux{});
+  visits_.assign(site_count, 0);
+  visit_epoch_.assign(site_count, 0);
+
+  auto collect_syncs = [&](const ExprRef& e, std::vector<LocalId>* out) {
+    if (e == nullptr) {
+      return;
+    }
+    sedspec::visit(*e, [&](const sedspec::Expr& n) {
+      if (n.kind == sedspec::ExprKind::kLocal &&
+          cfg_->sync_locals.contains(n.local) &&
+          std::find(out->begin(), out->end(), n.local) == out->end()) {
+        out->push_back(n.local);
+      }
+    });
+  };
+
+  for (const auto& [site, block] : cfg_->blocks) {
+    SEDSPEC_REQUIRE(site < site_count);
+    BlockAux& aux = aux_[site];
+    aux.block = &block;
+    aux.visit_bound =
+        std::max<uint64_t>(config_.visit_slack_min,
+                           block.max_visits_per_round *
+                               config_.visit_slack_multiplier);
+    for (const Stmt& s : block.dsod) {
+      collect_syncs(s.value, &aux.syncs);
+      collect_syncs(s.index, &aux.syncs);
+      collect_syncs(s.count, &aux.syncs);
+      // The paper's parameter check bounds-validates a buffer access only
+      // when "a device state index parameter is used" (§VI-A). A store
+      // through a non-state temporary is applied to the shadow (modeling
+      // the corruption) but not flagged — that is the documented
+      // CVE-2015-7504 blind spot covered by the indirect-jump check.
+      bool bounds = false;
+      if (s.kind == StmtKind::kBufStore) {
+        bounds = index_is_state_derived(s.index);
+      } else if (s.kind == StmtKind::kBufFill) {
+        bounds = index_is_state_derived(s.index) ||
+                 index_is_state_derived(s.count);
+      }
+      aux.stmt_bounds.push_back(bounds ? 1 : 0);
+    }
+    collect_syncs(block.guard, &aux.syncs);
+    collect_syncs(block.cmd_expr, &aux.syncs);
+  }
+
+  entries_.assign(cfg_->entry_dispatch.begin(), cfg_->entry_dispatch.end());
+}
+
+void EsChecker::resolve_syncs(const BlockAux& aux, const IoAccess& io) {
+  // Sync points (paper §V-D): pause the simulation, read the variable's
+  // current value from the device (against the shadow state, so loop-
+  // carried locals resolve per encounter), then resume.
+  for (sedspec::LocalId l : aux.syncs) {
+    if (auto v = device_->resolve_sync(l, io, shadow_); v.has_value()) {
+      shadow_.set_local(l, *v);
+    }
+  }
+}
+
+struct EsChecker::Traversal {
+  const IoAccess* io = nullptr;
+  std::vector<Violation> violations;
+  SiteId current = sedspec::kInvalidSite;
+  bool stop = false;  // successor unknown: traversal cannot continue
+  uint64_t steps = 0;
+
+  void add(Strategy s, SiteId site, std::string detail) {
+    violations.push_back(Violation{s, site, std::move(detail)});
+  }
+};
+
+void EsChecker::exec_dsod(const BlockAux& aux, Traversal& t) {
+  const EsBlock& block = *aux.block;
+  for (size_t i = 0; i < block.dsod.size(); ++i) {
+    const Stmt& s = block.dsod[i];
+    EvalDiag diag;
+    EvalCtx ctx;
+    ctx.state = &shadow_;
+    ctx.io = t.io;
+    ctx.checked = true;
+    ctx.diag = &diag;
+    switch (s.kind) {
+      case StmtKind::kAssignParam: {
+        const uint64_t v = eval_expr(*s.value, ctx);
+        shadow_.set_param(s.param, v);
+        break;
+      }
+      case StmtKind::kAssignLocal: {
+        const uint64_t v = eval_expr(*s.value, ctx);
+        shadow_.set_local(s.local, v);
+        break;
+      }
+      case StmtKind::kBufStore: {
+        const uint64_t idx = eval_expr(*s.index, ctx);
+        const uint64_t val = eval_expr(*s.value, ctx);
+        shadow_.buf_store(s.param, idx, val,
+                          aux.stmt_bounds[i] != 0 ? &diag : nullptr);
+        break;
+      }
+      case StmtKind::kBufFill: {
+        const uint64_t idx = eval_expr(*s.index, ctx);
+        const uint64_t count = eval_expr(*s.count, ctx);
+        shadow_.buf_fill(s.param, idx, count,
+                         aux.stmt_bounds[i] != 0 ? &diag : nullptr);
+        break;
+      }
+    }
+    if (!diag.any()) {
+      continue;
+    }
+    if (diag.note.empty()) {
+      diag.note = s.note;
+    }
+    if (diag.kind == EvalDiag::Kind::kMissingLocal) {
+      // The simulation could not resolve a sync variable: the spec cannot
+      // follow this path. Reported under the conditional-jump strategy.
+      if (strategy_enabled(Strategy::kConditionalJump)) {
+        t.add(Strategy::kConditionalJump, block.site,
+              "unresolved sync variable: " + diag.describe());
+      }
+    } else if (strategy_enabled(Strategy::kParameter)) {
+      t.add(Strategy::kParameter, block.site, diag.describe());
+    }
+  }
+}
+
+CheckResult EsChecker::check(const IoAccess& io) {
+  CheckResult result;
+  Traversal t;
+  t.io = &io;
+
+  shadow_.clear_locals();
+  ++epoch_;
+
+  // Entry dispatch (paper §V-A: the entry block parses the target
+  // address/port of the I/O request).
+  const sedspec::IoKey key = sedspec::key_of(io);
+  SiteId entry = sedspec::kInvalidSite;
+  bool have_entry = false;
+  for (const auto& [k, site] : entries_) {
+    if (k == key) {
+      entry = site;
+      have_entry = true;
+      break;
+    }
+  }
+  if (!have_entry) {
+    if (strategy_enabled(Strategy::kConditionalJump)) {
+      std::ostringstream detail;
+      detail << "untrained I/O access: "
+             << (io.space == sedspec::IoSpace::kPio ? "pio" : "mmio") << " 0x"
+             << std::hex << io.addr << (io.is_write ? " write" : " read");
+      t.add(Strategy::kConditionalJump, sedspec::kInvalidSite, detail.str());
+    }
+    result.violations = std::move(t.violations);
+    return result;
+  }
+  t.current = entry;
+
+  while (!t.stop && t.current != sedspec::kInvalidSite) {
+    if (++t.steps > config_.max_steps) {
+      if (strategy_enabled(Strategy::kConditionalJump)) {
+        t.add(Strategy::kConditionalJump, t.current,
+              "traversal budget exceeded");
+      }
+      break;
+    }
+    const BlockAux& aux = aux_[t.current];
+    const EsBlock& block = *aux.block;
+
+    // Per-round visit bound (trained loop shape).
+    if (visit_epoch_[t.current] != epoch_) {
+      visit_epoch_[t.current] = epoch_;
+      visits_[t.current] = 0;
+    }
+    if (++visits_[t.current] > aux.visit_bound) {
+      if (strategy_enabled(Strategy::kConditionalJump)) {
+        std::ostringstream detail;
+        detail << "block '" << block.name << "' visited "
+               << visits_[t.current] << " times in one round (trained max "
+               << block.max_visits_per_round << ")";
+        t.add(Strategy::kConditionalJump, t.current, detail.str());
+      }
+      break;
+    }
+
+    if (!aux.syncs.empty()) {
+      resolve_syncs(aux, io);
+    }
+
+    // Command access control table.
+    if (active_cmd_.has_value() &&
+        strategy_enabled(Strategy::kConditionalJump)) {
+      const auto cmd_it = cfg_->commands.find(*active_cmd_);
+      if (cmd_it != cfg_->commands.end() &&
+          !cmd_it->second.access.contains(t.current)) {
+        std::ostringstream detail;
+        detail << "block '" << block.name
+               << "' not accessible under command 0x" << std::hex
+               << *active_cmd_;
+        t.add(Strategy::kConditionalJump, t.current, detail.str());
+      }
+    }
+
+    exec_dsod(aux, t);
+
+    // Transition.
+    switch (block.kind) {
+      case sedspec::BlockKind::kConditional: {
+        if (block.merged) {
+          t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
+          break;
+        }
+        EvalDiag diag;
+        EvalCtx ctx;
+        ctx.state = &shadow_;
+        ctx.io = t.io;
+        ctx.checked = true;
+        ctx.diag = &diag;
+        const bool taken = eval_expr(*block.guard, ctx) != 0;
+        if (diag.any()) {
+          if (diag.kind == EvalDiag::Kind::kMissingLocal) {
+            if (strategy_enabled(Strategy::kConditionalJump)) {
+              t.add(Strategy::kConditionalJump, block.site,
+                    "unresolved sync variable in guard");
+            }
+          } else if (strategy_enabled(Strategy::kParameter)) {
+            t.add(Strategy::kParameter, block.site,
+                  "in guard: " + diag.describe());
+          }
+        }
+        const CondDir& dir = taken ? block.taken : block.not_taken;
+        if (!dir.observed) {
+          if (strategy_enabled(Strategy::kConditionalJump)) {
+            t.add(Strategy::kConditionalJump, block.site,
+                  std::string("untrained ") + (taken ? "taken" : "not-taken") +
+                      " direction at '" + block.name + "'");
+          }
+          t.stop = true;
+        } else if (dir.ends) {
+          t.current = sedspec::kInvalidSite;
+        } else {
+          t.current = dir.succ;
+        }
+        break;
+      }
+      case sedspec::BlockKind::kCmdDecision: {
+        EvalDiag diag;
+        EvalCtx ctx;
+        ctx.state = &shadow_;
+        ctx.io = t.io;
+        ctx.checked = true;
+        ctx.diag = &diag;
+        const uint64_t cmd = eval_expr(*block.cmd_expr, ctx);
+        if (diag.any() && diag.kind != EvalDiag::Kind::kMissingLocal &&
+            strategy_enabled(Strategy::kParameter)) {
+          t.add(Strategy::kParameter, block.site,
+                "in command decode: " + diag.describe());
+        }
+        const auto disp = block.cmd_dispatch.find(cmd);
+        if (disp == block.cmd_dispatch.end() || !disp->second.observed) {
+          if (strategy_enabled(Strategy::kConditionalJump)) {
+            std::ostringstream detail;
+            detail << "untrained command 0x" << std::hex << cmd << " at '"
+                   << block.name << "'";
+            t.add(Strategy::kConditionalJump, block.site, detail.str());
+          }
+          t.stop = true;
+          break;
+        }
+        active_cmd_ = cmd;
+        t.current =
+            disp->second.ends ? sedspec::kInvalidSite : disp->second.succ;
+        break;
+      }
+      case sedspec::BlockKind::kIndirect: {
+        const uint64_t target = shadow_.param(block.fp_param);
+        if (strategy_enabled(Strategy::kIndirectJump) &&
+            !block.fp_targets.contains(target)) {
+          std::ostringstream detail;
+          detail << "indirect call at '" << block.name << "' targets 0x"
+                 << std::hex << target
+                 << ", not a trained legitimate function";
+          t.add(Strategy::kIndirectJump, block.site, detail.str());
+        }
+        t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
+        if (!block.has_succ && !block.ends) {
+          t.stop = true;
+        }
+        break;
+      }
+      case sedspec::BlockKind::kCmdEnd:
+        active_cmd_.reset();
+        t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
+        break;
+      case sedspec::BlockKind::kPlain:
+        t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
+        break;
+    }
+  }
+
+  result.violations = std::move(t.violations);
+  result.steps = t.steps;
+  return result;
+}
+
+bool EsChecker::before_access(Device& device, const IoAccess& io) {
+  const std::optional<uint64_t> saved_cmd = active_cmd_;
+  last_ = check(io);
+  ++stats_.rounds;
+  stats_.total_steps += last_.steps;
+  for (const Violation& v : last_.violations) {
+    ++stats_.violations_by_strategy[static_cast<int>(v.strategy)];
+  }
+  if (last_.clean()) {
+    ++stats_.clean_rounds;
+    return true;
+  }
+
+  if (config_.monitor_only) {
+    ++stats_.warnings;
+    // Keep the shadow aligned with whatever the device actually does.
+    pending_resync_ = true;
+    return true;
+  }
+
+  bool block_access = false;
+  if (config_.mode == Mode::kProtection) {
+    block_access = true;
+  } else {
+    // Enhancement mode: only the parameter check halts execution.
+    block_access = last_.any(Strategy::kParameter);
+  }
+
+  if (block_access) {
+    ++stats_.blocked;
+    last_.blocked = true;
+    if (config_.rollback_on_violation && checkpoint_ != nullptr) {
+      // Rollback recovery: restore the control structure to the last clean
+      // checkpoint; the device stays available.
+      device.state().copy_from(*checkpoint_);
+      ++stats_.rollbacks;
+    } else if (config_.mode == Mode::kProtection) {
+      device.set_halted(true);
+      last_.halted = true;
+    }
+    // The device will not execute this access: discard the speculative
+    // shadow mutations by resynchronizing from the (possibly rolled-back)
+    // device.
+    shadow_.copy_from(device.state());
+    if (config_.rollback_on_violation) {
+      active_cmd_.reset();  // the checkpoint predates the current command
+    } else {
+      active_cmd_ = saved_cmd;
+    }
+    log_warn("checker") << cfg_->device_name << ": blocked I/O — "
+                        << last_.violations.front().detail;
+    return false;
+  }
+
+  ++stats_.warnings;
+  for (const Violation& v : last_.violations) {
+    log_warn("checker") << cfg_->device_name << ": warning ("
+                        << strategy_name(v.strategy) << ") — " << v.detail;
+  }
+  // The device executes the access; pick up its authoritative state
+  // afterwards so the warning does not cascade into follow-on divergence.
+  pending_resync_ = config_.resync_after_warning;
+  return true;
+}
+
+void EsChecker::after_access(Device& device, const IoAccess& /*io*/) {
+  if (checkpoint_ != nullptr && last_.clean()) {
+    checkpoint_->copy_from(device.state());
+  }
+  if (pending_resync_) {
+    shadow_.copy_from(device.state());
+    // The warned-about round may have left command tracking stale; drop it
+    // so one warning cannot cascade into access-table false positives.
+    active_cmd_.reset();
+    pending_resync_ = false;
+  }
+}
+
+}  // namespace sedspec::checker

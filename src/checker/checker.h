@@ -1,0 +1,191 @@
+// ES-Checker: runtime protection (paper §VI, Fig. 1 ③).
+//
+// Installed as the bus proxy, the checker simulates each I/O interaction on
+// the execution specification *before* the emulated device executes it: it
+// traverses the ES-CFG from the entry block, interpreting DSOD on a shadow
+// device state (a StateArena mirroring the control structure layout, so
+// simulated out-of-bounds stores corrupt adjacent shadow fields exactly as
+// the exploit would corrupt the real struct) and following NBTD transitions.
+//
+// Three check strategies (§VI-A):
+//   Parameter check     — UBSan-style integer overflow on every evaluated
+//                         expression, and buffer-bounds validation whenever
+//                         a *device-state-derived* index reads or writes a
+//                         state buffer. (Indices derived from non-state
+//                         temporaries are exactly the paper's CVE-2015-7504
+//                         blind spot and are not bounds-checked.)
+//   Indirect-jump check — at indirect blocks, the function-pointer field's
+//                         shadow value must be a trained legitimate target.
+//   Conditional-jump    — untrained branch directions, untrained commands,
+//                         untrained I/O access kinds, command-access-table
+//                         violations, and per-round block-visit counts
+//                         beyond the trained bound (the concrete form we
+//                         give "branches never traversed under normal
+//                         operations" for loop-shaped control flow, which
+//                         is how the CVE-2016-7909 infinite loop is caught).
+//
+// Two working modes (§VI-B):
+//   kProtection  — any violation blocks the access and halts the device;
+//   kEnhancement — only parameter-check violations block; the other two
+//                  strategies alert warnings and execution continues (the
+//                  shadow state is resynchronized from the device after a
+//                  warning round so one warning does not cascade).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "program/arena.h"
+#include "spec/es_cfg.h"
+#include "vdev/bus.h"
+
+namespace sedspec::checker {
+
+using sedspec::Device;
+using sedspec::IoAccess;
+using sedspec::SiteId;
+
+enum class Strategy : uint8_t {
+  kParameter = 0,
+  kIndirectJump = 1,
+  kConditionalJump = 2,
+};
+
+[[nodiscard]] std::string strategy_name(Strategy s);
+
+/// Alert severity per strategy (paper §VIII future work: "classify the
+/// alert levels based on different check strategies"). Parameter-check
+/// findings are "directly related to vulnerability exploitation and do not
+/// cause false positives" (§VI-B) — critical; indirect-jump findings mean a
+/// corrupted code pointer — high; conditional-jump findings may be
+/// rare-command false positives — warning.
+enum class Severity : uint8_t { kCritical = 0, kHigh = 1, kWarning = 2 };
+
+[[nodiscard]] Severity severity_of(Strategy s);
+[[nodiscard]] std::string severity_name(Severity s);
+
+enum class Mode : uint8_t { kProtection, kEnhancement };
+
+struct Violation {
+  Strategy strategy = Strategy::kParameter;
+  SiteId site = sedspec::kInvalidSite;  // block where detected
+  std::string detail;
+
+  [[nodiscard]] Severity severity() const { return severity_of(strategy); }
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+  bool blocked = false;  // the access was vetoed
+  bool halted = false;   // the device was halted (protection mode)
+  uint64_t steps = 0;    // ES-CFG blocks traversed
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] bool any(Strategy s) const;
+};
+
+struct CheckerConfig {
+  Mode mode = Mode::kProtection;
+
+  // Per-strategy switches (the paper's case studies "activate only one
+  // check strategy for each experiment").
+  bool enable_parameter = true;
+  bool enable_indirect = true;
+  bool enable_conditional = true;
+
+  /// Per-round visit bound = max(slack_min, trained_max * slack_multiplier).
+  uint64_t visit_slack_multiplier = 8;
+  uint64_t visit_slack_min = 64;
+  /// Absolute traversal budget per round.
+  uint64_t max_steps = 1u << 20;
+  /// Resynchronize the shadow state from the device after a warning round
+  /// (enhancement mode) so a single warning does not cascade.
+  bool resync_after_warning = true;
+  /// Record violations but never block or halt (evaluation aid: lets a
+  /// whole exploit run to completion while counting what each strategy
+  /// would have reported round by round).
+  bool monitor_only = false;
+  /// Rollback recovery (paper §VIII future work: "using rollback to restore
+  /// the virtual machine state to a previous point before the
+  /// exploitation"): instead of halting on a blocked access, restore the
+  /// device's control structure from the last clean checkpoint and keep the
+  /// device available. Costs one arena copy per clean round.
+  bool rollback_on_violation = false;
+};
+
+struct CheckerStats {
+  uint64_t rounds = 0;
+  uint64_t clean_rounds = 0;
+  uint64_t blocked = 0;
+  uint64_t warnings = 0;
+  uint64_t violations_by_strategy[3] = {0, 0, 0};
+  uint64_t rollbacks = 0;
+  uint64_t total_steps = 0;
+};
+
+class EsChecker final : public sedspec::IoProxy {
+ public:
+  /// Attaches to `device`: the shadow state is initialized from the
+  /// device's control structure (paper §V-A: "initialized with the values
+  /// from the emulated device control structure upon booting").
+  EsChecker(const spec::EsCfg* cfg, Device* device, CheckerConfig config = {});
+
+  // IoProxy -------------------------------------------------------------
+  bool before_access(Device& device, const IoAccess& io) override;
+  void after_access(Device& device, const IoAccess& io) override;
+
+  /// Core traversal: simulates one I/O round, returns every violation.
+  /// Does not apply the mode policy (before_access does).
+  [[nodiscard]] CheckResult check(const IoAccess& io);
+
+  /// Re-copies the shadow state from the device (used after reset).
+  void resync();
+
+  [[nodiscard]] const CheckerStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] const CheckResult& last_result() const { return last_; }
+  [[nodiscard]] sedspec::StateArena& shadow() { return shadow_; }
+  [[nodiscard]] const CheckerConfig& config() const { return config_; }
+  void set_mode(Mode mode) { config_.mode = mode; }
+
+ private:
+  struct Traversal;
+
+  /// Construction-time per-block acceleration data: direct block pointer,
+  /// the sync locals its expressions reference, which DSOD statements get
+  /// buffer-bounds validation (state-derived indices only, §VI-A), and the
+  /// precomputed per-round visit bound.
+  struct BlockAux {
+    const spec::EsBlock* block = nullptr;
+    std::vector<sedspec::LocalId> syncs;
+    std::vector<uint8_t> stmt_bounds;
+    uint64_t visit_bound = 0;
+  };
+
+  [[nodiscard]] bool strategy_enabled(Strategy s) const;
+  void resolve_syncs(const BlockAux& aux, const IoAccess& io);
+  void exec_dsod(const BlockAux& aux, Traversal& t);
+  [[nodiscard]] bool index_is_state_derived(const sedspec::ExprRef& e) const;
+  void build_aux();
+
+  const spec::EsCfg* cfg_;
+  Device* device_;
+  CheckerConfig config_;
+  sedspec::StateArena shadow_;
+  std::optional<uint64_t> active_cmd_;
+  CheckerStats stats_;
+  CheckResult last_;
+  bool pending_resync_ = false;
+
+  std::vector<BlockAux> aux_;                           // by SiteId
+  std::vector<std::pair<sedspec::IoKey, SiteId>> entries_;  // flat dispatch
+  std::unique_ptr<sedspec::StateArena> checkpoint_;  // rollback mode only
+  std::vector<uint32_t> visits_;       // by SiteId, epoch-validated
+  std::vector<uint32_t> visit_epoch_;  // by SiteId
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace sedspec::checker

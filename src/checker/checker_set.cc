@@ -1,0 +1,30 @@
+#include "checker/checker_set.h"
+
+namespace sedspec::checker {
+
+EsChecker* CheckerSet::attach(const spec::EsCfg& cfg, Device& device,
+                              CheckerConfig config) {
+  auto checker = std::make_unique<EsChecker>(&cfg, &device, config);
+  EsChecker* raw = checker.get();
+  checkers_[&device] = std::move(checker);
+  device.set_internal_activity_hook([raw] { raw->resync(); });
+  return raw;
+}
+
+EsChecker* CheckerSet::checker_for(const Device& device) const {
+  auto it = checkers_.find(&device);
+  return it == checkers_.end() ? nullptr : it->second.get();
+}
+
+bool CheckerSet::before_access(Device& device, const IoAccess& io) {
+  EsChecker* checker = checker_for(device);
+  return checker == nullptr || checker->before_access(device, io);
+}
+
+void CheckerSet::after_access(Device& device, const IoAccess& io) {
+  if (EsChecker* checker = checker_for(device); checker != nullptr) {
+    checker->after_access(device, io);
+  }
+}
+
+}  // namespace sedspec::checker

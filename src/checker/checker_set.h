@@ -1,0 +1,33 @@
+// CheckerSet — protect every emulated device of a VM at once.
+//
+// An IoBus has a single proxy slot; a real deployment protects many devices
+// (the paper evaluates five specifications side by side). CheckerSet is a
+// proxy that routes each access to the ES-Checker attached to the target
+// device; devices without a checker pass through unchecked.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "checker/checker.h"
+
+namespace sedspec::checker {
+
+class CheckerSet final : public sedspec::IoProxy {
+ public:
+  /// Creates, attaches, and takes ownership of a checker for `device`.
+  EsChecker* attach(const spec::EsCfg& cfg, Device& device,
+                    CheckerConfig config = {});
+
+  [[nodiscard]] EsChecker* checker_for(const Device& device) const;
+  [[nodiscard]] size_t size() const { return checkers_.size(); }
+
+  // IoProxy ---------------------------------------------------------------
+  bool before_access(Device& device, const IoAccess& io) override;
+  void after_access(Device& device, const IoAccess& io) override;
+
+ private:
+  std::map<const Device*, std::unique_ptr<EsChecker>> checkers_;
+};
+
+}  // namespace sedspec::checker

@@ -1,0 +1,34 @@
+// Lightweight precondition checking used across the library.
+//
+// SEDSPEC_REQUIRE is for programmer errors (broken invariants, misuse of an
+// API): it throws std::logic_error so tests can assert on misuse without
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sedspec {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::logic_error(std::string("requirement failed: ") + cond + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace sedspec
+
+#define SEDSPEC_REQUIRE(cond)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sedspec::require_failed(#cond, __FILE__, __LINE__, "");     \
+    }                                                               \
+  } while (0)
+
+#define SEDSPEC_REQUIRE_MSG(cond, msg)                              \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sedspec::require_failed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                               \
+  } while (0)

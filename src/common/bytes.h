@@ -1,0 +1,93 @@
+// Binary (de)serialization primitives.
+//
+// Used by the trace-packet encoder (src/trace), the device-state-change log
+// (src/statelog), and ES-CFG persistence (src/spec). Everything is encoded
+// little-endian with explicit widths; variable-length payloads are
+// length-prefixed. ByteReader is fail-fast: reading past the end throws.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace sedspec {
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { append(&v, sizeof(v)); }
+  void u32(uint32_t v) { append(&v, sizeof(v)); }
+  void u64(uint64_t v) { append(&v, sizeof(v)); }
+  void i64(int64_t v) { append(&v, sizeof(v)); }
+
+  void varbytes(std::span<const uint8_t> data) {
+    u32(static_cast<uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void str(const std::string& s) {
+    varbytes({reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+  }
+
+  [[nodiscard]] const std::vector<uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+
+ private:
+  void append(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() { return read<uint8_t>(); }
+  uint16_t u16() { return read<uint16_t>(); }
+  uint32_t u32() { return read<uint32_t>(); }
+  uint64_t u64() { return read<uint64_t>(); }
+  int64_t i64() { return read<int64_t>(); }
+
+  std::vector<uint8_t> varbytes() {
+    const uint32_t n = u32();
+    SEDSPEC_REQUIRE_MSG(pos_ + n <= data_.size(), "varbytes past end");
+    std::vector<uint8_t> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    auto raw = varbytes();
+    return {raw.begin(), raw.end()};
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T read() {
+    SEDSPEC_REQUIRE_MSG(pos_ + sizeof(T) <= data_.size(), "read past end");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+/// Hex dump helper for diagnostics ("deadbeef" style, two chars per byte).
+std::string to_hex(std::span<const uint8_t> data);
+
+}  // namespace sedspec

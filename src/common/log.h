@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// The library is silent by default (level = kWarn); tests and benchmarks can
+// raise or lower the level. Log output goes to stderr so benchmark stdout
+// stays machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sedspec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel log_level();
+
+/// Sets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr if `level >= log_level()`.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug(std::string component) {
+  return {LogLevel::kDebug, std::move(component)};
+}
+inline detail::LogStream log_info(std::string component) {
+  return {LogLevel::kInfo, std::move(component)};
+}
+inline detail::LogStream log_warn(std::string component) {
+  return {LogLevel::kWarn, std::move(component)};
+}
+inline detail::LogStream log_error(std::string component) {
+  return {LogLevel::kError, std::move(component)};
+}
+
+}  // namespace sedspec

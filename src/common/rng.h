@@ -1,0 +1,101 @@
+// Deterministic random number generation for workloads and fuzzing.
+//
+// Every randomized component in the repository (training-sample generators,
+// long-run workloads, the benign fuzzer, exploit jitter) draws from an Rng
+// seeded explicitly, so all experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace sedspec {
+
+/// xoshiro256** with a SplitMix64 seeding stage. Not cryptographic; fast and
+/// statistically solid for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) {
+    SEDSPEC_REQUIRE(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = next_u64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) {
+    SEDSPEC_REQUIRE(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>(next_u64() >> 11) *
+               (1.0 / 9007199254740992.0) <
+           p;
+  }
+
+  /// Picks an index weighted by `weights` (all non-negative, sum > 0).
+  size_t weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) {
+      SEDSPEC_REQUIRE(w >= 0);
+      total += w;
+    }
+    SEDSPEC_REQUIRE(total > 0);
+    double r = static_cast<double>(next_u64() >> 11) *
+               (1.0 / 9007199254740992.0) * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (r < weights[i]) return i;
+      r -= weights[i];
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child stream (for per-device sub-generators).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace sedspec

@@ -1,0 +1,39 @@
+// Virtual clock for long-duration campaigns.
+//
+// The paper's false-positive study runs each interaction mode for 10/20/30
+// wall-clock hours. We substitute a virtual clock: every simulated test case
+// advances it by a realistic duration, and campaigns run until the virtual
+// clock reaches the target. FP counts depend on the number and mix of test
+// cases, not on real elapsed time, so the substitution preserves the result
+// shape (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+
+namespace sedspec {
+
+/// Monotonic virtual time in microseconds.
+class VirtualClock {
+ public:
+  using Micros = uint64_t;
+
+  static constexpr Micros kMicrosPerSecond = 1'000'000ULL;
+  static constexpr Micros kMicrosPerHour = 3'600ULL * kMicrosPerSecond;
+
+  [[nodiscard]] Micros now() const { return now_; }
+  [[nodiscard]] double hours() const {
+    return static_cast<double>(now_) / static_cast<double>(kMicrosPerHour);
+  }
+
+  void advance(Micros delta) { now_ += delta; }
+  void advance_seconds(double seconds) {
+    now_ += static_cast<Micros>(seconds * kMicrosPerSecond);
+  }
+
+  void reset() { now_ = 0; }
+
+ private:
+  Micros now_ = 0;
+};
+
+}  // namespace sedspec

@@ -1,0 +1,220 @@
+#include "dataflow/dataflow.h"
+
+#include <vector>
+
+#include "common/log.h"
+
+namespace sedspec::dataflow {
+
+namespace {
+
+using sedspec::Expr;
+using sedspec::ExprKind;
+using sedspec::Stmt;
+using sedspec::StmtKind;
+
+constexpr int kMaxInlineDepth = 8;
+
+/// Collects every distinct defining RHS per local across the program.
+std::map<LocalId, std::vector<ExprRef>> collect_defs(
+    const DeviceProgram& program) {
+  std::map<LocalId, std::vector<ExprRef>> defs;
+  for (size_t i = 0; i < program.site_count(); ++i) {
+    const auto& site = program.site(static_cast<SiteId>(i));
+    for (const Stmt& s : site.dsod) {
+      if (s.kind == StmtKind::kAssignLocal) {
+        defs[s.local].push_back(s.value);
+      }
+    }
+  }
+  return defs;
+}
+
+void collect_locals(const ExprRef& e, std::set<LocalId>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  sedspec::visit(*e, [&](const Expr& n) {
+    if (n.kind == ExprKind::kLocal) {
+      out->insert(n.local);
+    }
+  });
+}
+
+/// Structural equality of expressions (for merging identical definitions
+/// reaching from different sites).
+bool equal(const ExprRef& a, const ExprRef& b) {
+  if (a == b) {
+    return true;
+  }
+  if (a == nullptr || b == nullptr) {
+    return false;
+  }
+  if (a->kind != b->kind || a->type != b->type) {
+    return false;
+  }
+  switch (a->kind) {
+    case ExprKind::kConst:
+      return a->const_value == b->const_value;
+    case ExprKind::kParam:
+      return a->param == b->param;
+    case ExprKind::kLocal:
+      return a->local == b->local;
+    case ExprKind::kIoField:
+      return a->io_field == b->io_field;
+    case ExprKind::kBufLoad:
+      return a->param == b->param && equal(a->lhs, b->lhs);
+    case ExprKind::kUnary:
+      return a->un_op == b->un_op && equal(a->lhs, b->lhs);
+    case ExprKind::kBinary:
+      return a->bin_op == b->bin_op && equal(a->lhs, b->lhs) &&
+             equal(a->rhs, b->rhs);
+    case ExprKind::kCast:
+      return equal(a->lhs, b->lhs);
+  }
+  return false;
+}
+
+struct Analyzer {
+  const DeviceProgram& program;
+  std::map<LocalId, std::vector<ExprRef>> defs;
+  RecoveryPlan plan;
+  std::set<LocalId> in_progress;
+
+  /// Resolves one local; records the result in the plan. Returns true if
+  /// the local is computable.
+  bool resolve(LocalId id, int depth) {
+    if (plan.inline_defs.contains(id)) {
+      return true;
+    }
+    if (plan.sync_points.contains(id)) {
+      return false;
+    }
+    if (depth > kMaxInlineDepth || in_progress.contains(id)) {
+      plan.sync_points.insert(id);
+      return false;
+    }
+    auto it = defs.find(id);
+    if (it == defs.end() || it->second.empty()) {
+      // Natively set by the device (no DSOD definition): sync point.
+      plan.sync_points.insert(id);
+      return false;
+    }
+    // Multiple definitions are fine only if structurally identical
+    // (a full path-sensitive analysis is what angr brings; identical-def
+    // merging covers the patterns our devices exhibit and anything else is
+    // conservatively a sync point).
+    const ExprRef& first = it->second.front();
+    for (const ExprRef& other : it->second) {
+      if (!equal(first, other)) {
+        plan.sync_points.insert(id);
+        return false;
+      }
+    }
+    // Every local the definition references must itself resolve.
+    in_progress.insert(id);
+    std::set<LocalId> nested;
+    collect_locals(first, &nested);
+    bool ok = true;
+    for (LocalId dep : nested) {
+      if (dep == id || !resolve(dep, depth + 1)) {
+        ok = false;
+        break;
+      }
+    }
+    in_progress.erase(id);
+    if (!ok) {
+      plan.sync_points.insert(id);
+      return false;
+    }
+    plan.inline_defs[id] = inline_expr(first);
+    return true;
+  }
+
+  /// Substitutes already-resolved inline defs inside `e`.
+  ExprRef inline_expr(const ExprRef& e) {
+    if (e == nullptr) {
+      return e;
+    }
+    if (e->kind == ExprKind::kLocal) {
+      auto it = plan.inline_defs.find(e->local);
+      if (it != plan.inline_defs.end()) {
+        // Preserve the declared type of the use site via a cast when the
+        // definition's type differs.
+        if (it->second->type == e->type) {
+          return it->second;
+        }
+        return sedspec::eb::cast(it->second, e->type);
+      }
+      return e;
+    }
+    ExprRef new_lhs = inline_expr(e->lhs);
+    ExprRef new_rhs = inline_expr(e->rhs);
+    if (new_lhs == e->lhs && new_rhs == e->rhs) {
+      return e;
+    }
+    Expr copy = *e;
+    copy.lhs = std::move(new_lhs);
+    copy.rhs = std::move(new_rhs);
+    return std::make_shared<const Expr>(std::move(copy));
+  }
+};
+
+}  // namespace
+
+RecoveryPlan analyze_dependencies(const DeviceProgram& program) {
+  Analyzer a{program, collect_defs(program), {}, {}};
+
+  // Every local referenced anywhere (guards, command expressions, DSOD).
+  std::set<LocalId> referenced;
+  for (size_t i = 0; i < program.site_count(); ++i) {
+    const auto& site = program.site(static_cast<SiteId>(i));
+    collect_locals(site.guard, &referenced);
+    collect_locals(site.cmd_expr, &referenced);
+    for (const Stmt& s : site.dsod) {
+      collect_locals(s.value, &referenced);
+      collect_locals(s.index, &referenced);
+      collect_locals(s.count, &referenced);
+    }
+  }
+  for (LocalId id : referenced) {
+    a.resolve(id, 0);
+  }
+  log_info("dataflow") << program.device_name() << ": "
+                       << a.plan.inline_defs.size() << " locals inlined, "
+                       << a.plan.sync_points.size() << " sync points";
+  return std::move(a.plan);
+}
+
+ExprRef rewrite(const ExprRef& expr, const RecoveryPlan& plan) {
+  if (expr == nullptr) {
+    return expr;
+  }
+  if (expr->kind == ExprKind::kLocal) {
+    auto it = plan.inline_defs.find(expr->local);
+    if (it != plan.inline_defs.end()) {
+      if (it->second->type == expr->type) {
+        return it->second;
+      }
+      return sedspec::eb::cast(it->second, expr->type);
+    }
+    return expr;
+  }
+  ExprRef new_lhs = rewrite(expr->lhs, plan);
+  ExprRef new_rhs = rewrite(expr->rhs, plan);
+  if (new_lhs == expr->lhs && new_rhs == expr->rhs) {
+    return expr;
+  }
+  Expr copy = *expr;
+  copy.lhs = std::move(new_lhs);
+  copy.rhs = std::move(new_rhs);
+  return std::make_shared<const Expr>(std::move(copy));
+}
+
+std::set<LocalId> referenced_locals(const ExprRef& expr) {
+  std::set<LocalId> out;
+  collect_locals(expr, &out);
+  return out;
+}
+
+}  // namespace sedspec::dataflow

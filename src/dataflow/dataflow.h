@@ -1,0 +1,58 @@
+// Data-dependency recovery (paper §V-D).
+//
+// NBTD guards may reference variables that are not device-state parameters
+// (locals). The paper uses angr to decide, per such variable, whether it
+// "can be computed from the device state parameters":
+//   - yes -> the computation replaces the variable in the NBTD;
+//   - no  -> a sync point is inserted, and at runtime SEDSpec pauses,
+//            reads the actual value from the device, and resumes.
+//
+// Our analyzer answers the same question over the DeviceProgram's statement
+// universe with a def-use / reaching-definitions pass:
+//   - a local with exactly one defining assign_local statement whose RHS
+//     (after recursive inlining, depth-limited) references only device-state
+//     parameters, I/O fields, and constants is *computable*;
+//   - a local with zero DSOD definitions (it is set natively by the device,
+//     e.g. a DMA-descriptor-derived length), multiple conflicting
+//     definitions, or a definition chain that bottoms out in a native local
+//     is a *sync point*.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "expr/expr.h"
+#include "program/program.h"
+
+namespace sedspec::dataflow {
+
+using sedspec::DeviceProgram;
+using sedspec::ExprRef;
+using sedspec::LocalId;
+using sedspec::ParamId;
+using sedspec::SiteId;
+
+struct RecoveryPlan {
+  /// Locals replaceable by a parameter-only computation.
+  std::map<LocalId, ExprRef> inline_defs;
+  /// Locals that need a runtime sync point.
+  std::set<LocalId> sync_points;
+
+  [[nodiscard]] bool is_sync(LocalId id) const {
+    return sync_points.contains(id);
+  }
+};
+
+/// Analyzes every local referenced anywhere in the program.
+RecoveryPlan analyze_dependencies(const DeviceProgram& program);
+
+/// Rewrites an expression, substituting inlined local definitions. Locals in
+/// `plan.sync_points` are left in place (resolved at runtime via the sync
+/// mechanism). Returns the original pointer when nothing changed.
+ExprRef rewrite(const ExprRef& expr, const RecoveryPlan& plan);
+
+/// Locals referenced by `expr` (transitively through inline defs already
+/// applied — call after rewrite() to get the residual sync-point set).
+std::set<LocalId> referenced_locals(const ExprRef& expr);
+
+}  // namespace sedspec::dataflow

@@ -1,0 +1,673 @@
+#include "devices/pcnet.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace sedspec::devices {
+
+namespace {
+
+using sedspec::eb::add;
+using sedspec::eb::band;
+using sedspec::eb::bor;
+using sedspec::eb::c;
+using sedspec::eb::cast;
+using sedspec::eb::eq;
+using sedspec::eb::ge;
+using sedspec::eb::gt;
+using sedspec::eb::io_value;
+using sedspec::eb::le;
+using sedspec::eb::local;
+using sedspec::eb::ne;
+using sedspec::eb::param;
+using sedspec::eb::sub;
+using sedspec::eb::un;
+
+constexpr IntType U8 = IntType::kU8;
+constexpr IntType U16 = IntType::kU16;
+constexpr IntType U32 = IntType::kU32;
+
+/// The wire-side frame-delivery event (not guest I/O; never checked).
+constexpr sedspec::IoAccess rx_event(uint64_t len) {
+  sedspec::IoAccess io;
+  io.space = sedspec::IoSpace::kMmio;
+  io.addr = 0xfeed0000;
+  io.size = 4;
+  io.value = len;
+  io.is_write = true;
+  return io;
+}
+
+}  // namespace
+
+struct PcnetDevice::RxSites {
+  sedspec::SiteId begin, clampq, clamp, scanq, ownq, deliver, d_adv, d_wrapq,
+      d_wrap, adv, wrapq, wrap_do, drop;
+  sedspec::LocalId l_own;
+};
+
+PcnetDevice::PcnetDevice(sedspec::GuestMemory* mem, Vulns vulns)
+    : PcnetDevice(std::make_unique<Blueprint>([&] {
+        Blueprint bp;
+        StateLayout layout("PCNetState");
+        bp.rap = layout.add_scalar("rap", FieldKind::kRegister, U16);
+        bp.csr0 = layout.add_scalar("csr0", FieldKind::kRegister, U16);
+        bp.csr1 = layout.add_scalar("csr1", FieldKind::kRegister, U16);
+        bp.csr2 = layout.add_scalar("csr2", FieldKind::kRegister, U16);
+        bp.csr3 = layout.add_scalar("csr3", FieldKind::kRegister, U16);
+        bp.csr4 = layout.add_scalar("csr4", FieldKind::kRegister, U16);
+        bp.csr15 = layout.add_scalar("csr15", FieldKind::kRegister, U16);
+        bp.csr76 = layout.add_scalar("csr76", FieldKind::kRegister, U16);
+        bp.csr78 = layout.add_scalar("csr78", FieldKind::kRegister, U16);
+        bp.rdra = layout.add_scalar("rdra", FieldKind::kRegister, U32);
+        bp.tdra = layout.add_scalar("tdra", FieldKind::kRegister, U32);
+        bp.rcvrc = layout.add_scalar("rcvrc", FieldKind::kIndex, U16);
+        bp.xmtrc = layout.add_scalar("xmtrc", FieldKind::kIndex, U16);
+        bp.rx_scan = layout.add_scalar("rx_scan", FieldKind::kOther, U32);
+        bp.xmit_pos = layout.add_scalar("xmit_pos", FieldKind::kIndex, U32);
+        bp.buffer = layout.add_buffer("buffer", 1, kBufferSize);
+        bp.irq_fn = layout.add_funcptr("irq_fn");  // adjacent to buffer
+
+        DeviceProgram prog("pcnet", std::move(layout), /*code_base=*/0x600000);
+        bp.f_irq = prog.add_function("pcnet_update_irq");
+        bp.l_init_rdra = prog.add_local("init_rdra");
+        bp.l_init_tdra = prog.add_local("init_tdra");
+        bp.l_tx_own = prog.add_local("tx_desc_own");
+        bp.l_tx_len = prog.add_local("tx_desc_len");
+        bp.l_tx_enp = prog.add_local("tx_desc_enp");
+        bp.l_fcs_pos = prog.add_local("fcs_pos");
+        bp.l_rx_own = prog.add_local("rx_desc_own");
+        bp.l_erx_own = prog.add_local("erx_desc_own");
+        bp.l_ext_len = prog.add_local("ext_frame_len");
+
+        auto P16 = [&](ParamId p) { return param(p, U16); };
+        auto P32 = [&](ParamId p) { return param(p, U32); };
+        ExprRef rx_ring_len =
+            sub(c(0x10000, U32), cast(P16(bp.csr76), U32), U32);
+        ExprRef tx_ring_len =
+            sub(c(0x10000, U32), cast(P16(bp.csr78), U32), U32);
+
+        // --- Register access ----------------------------------------------
+        bp.s_rap_set = prog.add_plain(
+            "pcnet_aprom_rap_write",
+            {sb::assign(bp.rap, band(io_value(U16), c(0x7f, U16), U16),
+                        "rap = value & 0x7f")});
+        bp.s_rap_read = prog.add_plain("pcnet_rap_read", {});
+        bp.s_reset = prog.add_plain(
+            "pcnet_s_reset",
+            {sb::assign(bp.csr0, c(kCsr0Stop, U16), "csr0 = STOP"),
+             sb::assign(bp.xmit_pos, c(0, U32))});
+        bp.s_csr_read = prog.add_plain("pcnet_csr_read", {});
+        bp.s_bdp_write = prog.add_plain("pcnet_bcr_write", {});
+        bp.s_bdp_read = prog.add_plain("pcnet_bcr_read", {});
+
+        // --- CSR write dispatch chain --------------------------------------
+        auto is_rap = [&](const char* name, uint16_t n) {
+          return prog.add_conditional(name, eq(P16(bp.rap), c(n, U16)));
+        };
+        bp.s_w_is0 = is_rap("pcnet_csr_write.is0", 0);
+        bp.s_w_is1 = is_rap("pcnet_csr_write.is1", 1);
+        bp.s_w_is2 = is_rap("pcnet_csr_write.is2", 2);
+        bp.s_w_is3 = is_rap("pcnet_csr_write.is3", 3);
+        bp.s_w_is4 = is_rap("pcnet_csr_write.is4", 4);
+        bp.s_w_is15 = is_rap("pcnet_csr_write.is15", 15);
+        bp.s_w_is76 = is_rap("pcnet_csr_write.is76", 76);
+        bp.s_w_is78 = is_rap("pcnet_csr_write.is78", 78);
+        auto setter = [&](const char* name, ParamId p) {
+          return prog.add_plain(name, {sb::assign(p, io_value(U16))});
+        };
+        bp.s_csr1_set = setter("pcnet_csr1_write", bp.csr1);
+        bp.s_csr2_set = setter("pcnet_csr2_write", bp.csr2);
+        bp.s_csr3_set = setter("pcnet_csr3_write", bp.csr3);
+        bp.s_csr4_set = setter("pcnet_csr4_write", bp.csr4);
+        bp.s_csr15_set = setter("pcnet_csr15_write", bp.csr15);
+        bp.s_csr76_set = setter("pcnet_csr76_write", bp.csr76);
+        bp.s_csr78_set = setter("pcnet_csr78_write", bp.csr78);
+        bp.s_csr_other_w = prog.add_plain("pcnet_csr_write.other", {});
+
+        // --- CSR0 control path ---------------------------------------------
+        bp.s_csr0_ack = prog.add_plain(
+            "pcnet_csr0_ack",
+            {sb::assign(bp.csr0,
+                        band(P16(bp.csr0),
+                             un(sedspec::UnaryOp::kBitNot,
+                                band(io_value(U16), c(0x7f00, U16), U16), U16),
+                             U16),
+                        "csr0 &= ~(value & 0x7f00)  /* W1C status bits */")});
+        bp.s_csr0_stopq = prog.add_conditional(
+            "pcnet_csr0.stop",
+            ne(band(io_value(U16), c(kCsr0Stop, U16), U16), c(0, U16)));
+        bp.s_csr0_stop = prog.add_plain(
+            "pcnet_stop", {sb::assign(bp.csr0, c(kCsr0Stop, U16)),
+                           sb::assign(bp.xmit_pos, c(0, U32))});
+        bp.s_csr0_initq = prog.add_conditional(
+            "pcnet_csr0.init",
+            ne(band(io_value(U16), c(kCsr0Init, U16), U16), c(0, U16)));
+        bp.s_init = prog.add_plain(
+            "pcnet_init",
+            {sb::assign(bp.rdra, local(bp.l_init_rdra, U32),
+                        "rdra = init_block.rdra"),
+             sb::assign(bp.tdra, local(bp.l_init_tdra, U32),
+                        "tdra = init_block.tdra"),
+             sb::assign(bp.rcvrc, c(0, U16)), sb::assign(bp.xmtrc, c(0, U16)),
+             sb::assign(bp.xmit_pos, c(0, U32)),
+             sb::assign(bp.csr0,
+                        bor(P16(bp.csr0), c(kCsr0Idon | kCsr0Init, U16), U16),
+                        "csr0 |= IDON|INIT")});
+        bp.s_irq_init = prog.add_indirect("pcnet_irq.init_done", bp.irq_fn);
+        bp.s_csr0_strtq = prog.add_conditional(
+            "pcnet_csr0.strt",
+            ne(band(io_value(U16), c(kCsr0Strt, U16), U16), c(0, U16)));
+        bp.s_strt = prog.add_plain(
+            "pcnet_start",
+            {sb::assign(bp.csr0,
+                        bor(P16(bp.csr0),
+                            c(kCsr0Strt | kCsr0Txon | kCsr0Rxon, U16), U16),
+                        "csr0 |= STRT|TXON|RXON")});
+        bp.s_csr0_tdmdq = prog.add_conditional(
+            "pcnet_csr0.tdmd",
+            ne(band(io_value(U16), c(kCsr0Tdmd, U16), U16), c(0, U16)));
+
+        // --- Transmit path ---------------------------------------------------
+        bp.s_tx_start = prog.add_plain(
+            "pcnet_transmit.start",
+            {sb::assign(bp.csr0,
+                        band(P16(bp.csr0),
+                             un(sedspec::UnaryOp::kBitNot, c(kCsr0Tdmd, U16),
+                                U16),
+                             U16),
+                        "csr0 &= ~TDMD")});
+        bp.s_tx_desc = prog.add_conditional(
+            "pcnet_transmit.desc_owned",
+            eq(local(bp.l_tx_own, U32), c(1, U32)));
+        bp.s_tx_boundq = prog.add_conditional(  // patched only
+            "pcnet_transmit.bound",
+            le(add(P32(bp.xmit_pos), local(bp.l_tx_len, U32), U32),
+               c(kBufferSize, U32)));
+        bp.s_tx_trunc = prog.add_plain(
+            "pcnet_transmit.truncate", {sb::assign(bp.xmit_pos, c(0, U32))});
+        bp.s_tx_append = prog.add_plain(
+            "pcnet_transmit.append",
+            {sb::buf_fill(bp.buffer, P32(bp.xmit_pos),
+                          local(bp.l_tx_len, U32),
+                          "buffer[xmit_pos ..] <- tx descriptor payload"),
+             sb::assign(bp.xmit_pos,
+                        add(P32(bp.xmit_pos), local(bp.l_tx_len, U32), U32),
+                        "xmit_pos += len")});
+        bp.s_tx_enpq = prog.add_conditional(
+            "pcnet_transmit.enp", eq(local(bp.l_tx_enp, U32), c(1, U32)));
+        // Ring cursors are int-sized in the real device; advance in u32 and
+        // narrow silently so the checker does not flag the u16 wrap.
+        auto advance16 = [&](ParamId p) {
+          return cast(add(cast(P16(p), U32), c(1, U32), U32), U16);
+        };
+        bp.s_tx_adv = prog.add_plain(
+            "pcnet_transmit.advance",
+            {sb::assign(bp.xmtrc, advance16(bp.xmtrc), "xmtrc++")});
+        bp.s_tx_wrapq = prog.add_conditional(
+            "pcnet_transmit.wrap", ge(cast(P16(bp.xmtrc), U32), tx_ring_len));
+        bp.s_tx_wrap_do = prog.add_plain("pcnet_transmit.wrap_reset",
+                                         {sb::assign(bp.xmtrc, c(0, U16))});
+        bp.s_tx_done = prog.add_plain("pcnet_transmit.done", {});
+
+        bp.s_tx_loopq = prog.add_conditional(
+            "pcnet_transmit.loopback",
+            ne(band(P16(bp.csr15), c(kModeLoop, U16), U16), c(0, U16)));
+        bp.s_fcsq = prog.add_conditional(
+            "pcnet_loopback.fcs_enabled",
+            eq(band(P16(bp.csr15), c(kModeDxmtfcs, U16), U16), c(0, U16)));
+        bp.s_fcs_boundq = prog.add_conditional(  // patched only
+            "pcnet_loopback.fcs_bound",
+            le(add(local(bp.l_fcs_pos, U32), c(4, U32), U32),
+               c(kBufferSize, U32)));
+        bp.s_fcs = prog.add_plain(
+            "pcnet_loopback.append_crc",
+            {sb::buf_store(bp.buffer, local(bp.l_fcs_pos, U32), c(0xb1, U8),
+                           "*(uint32_t *)&buf[size] = crc  /* temp ptr */"),
+             sb::buf_store(bp.buffer,
+                           add(local(bp.l_fcs_pos, U32), c(1, U32), U32),
+                           c(0x05, U8)),
+             sb::buf_store(bp.buffer,
+                           add(local(bp.l_fcs_pos, U32), c(2, U32), U32),
+                           c(0x44, U8)),
+             sb::buf_store(bp.buffer,
+                           add(local(bp.l_fcs_pos, U32), c(3, U32), U32),
+                           c(0x21, U8))});
+        bp.s_fcs_skip = prog.add_plain("pcnet_loopback.fcs_skipped", {});
+        bp.s_tx_sent = prog.add_plain(
+            "pcnet_transmit.sent",
+            {sb::assign(bp.xmit_pos, c(0, U32)),
+             sb::assign(bp.csr0, bor(P16(bp.csr0), c(kCsr0Tint, U16), U16),
+                        "csr0 |= TINT")});
+        bp.s_irq_tx = prog.add_indirect("pcnet_irq.tx", bp.irq_fn);
+
+        // --- Receive chains ---------------------------------------------------
+        struct ChainIds {
+          sedspec::SiteId begin, clampq, clamp, scanq, ownq, deliver, d_adv,
+              d_wrapq, d_wrap, adv, wrapq, wrap_do, drop;
+        };
+        auto make_rx_chain = [&](const std::string& prefix,
+                                 sedspec::LocalId l_own) {
+          ChainIds ids;
+          ids.begin = prog.add_plain(
+              prefix + ".begin",
+              {sb::assign(bp.rx_scan, rx_ring_len,
+                          "rx_scan = 0x10000 - csr76  /* ring length */")});
+          ids.clampq = prog.add_conditional(  // patched only
+              prefix + ".clampq", gt(P32(bp.rx_scan), c(kMaxRing, U32)));
+          ids.clamp = prog.add_plain(
+              prefix + ".clamp", {sb::assign(bp.rx_scan, c(kMaxRing, U32))});
+          ids.scanq = prog.add_conditional(prefix + ".scan_more",
+                                           gt(P32(bp.rx_scan), c(0, U32)));
+          ids.ownq = prog.add_conditional(prefix + ".desc_owned",
+                                          eq(local(l_own, U32), c(1, U32)));
+          ids.deliver = prog.add_plain(
+              prefix + ".deliver",
+              {sb::assign(bp.csr0, bor(P16(bp.csr0), c(kCsr0Rint, U16), U16),
+                          "csr0 |= RINT")});
+          auto rc_advance =
+              cast(add(cast(P16(bp.rcvrc), U32), c(1, U32), U32), U16);
+          ids.d_adv = prog.add_plain(prefix + ".deliver_advance",
+                                     {sb::assign(bp.rcvrc, rc_advance)});
+          ids.d_wrapq = prog.add_conditional(
+              prefix + ".deliver_wrap",
+              ge(cast(P16(bp.rcvrc), U32), rx_ring_len));
+          ids.d_wrap = prog.add_plain(prefix + ".deliver_wrap_reset",
+                                      {sb::assign(bp.rcvrc, c(0, U16))});
+          ids.adv = prog.add_plain(
+              prefix + ".scan_advance",
+              {sb::assign(bp.rcvrc, rc_advance),
+               sb::assign(bp.rx_scan, sub(P32(bp.rx_scan), c(1, U32), U32),
+                          "rx_scan--")});
+          ids.wrapq = prog.add_conditional(
+              prefix + ".scan_wrap", ge(cast(P16(bp.rcvrc), U32), rx_ring_len));
+          ids.wrap_do = prog.add_plain(prefix + ".scan_wrap_reset",
+                                       {sb::assign(bp.rcvrc, c(0, U16))});
+          ids.drop = prog.add_plain(
+              prefix + ".drop",
+              {sb::assign(bp.csr0, bor(P16(bp.csr0), c(kCsr0Miss, U16), U16),
+                          "csr0 |= MISS")});
+          return ids;
+        };
+
+        const ChainIds lb = make_rx_chain("pcnet_loopback_rx", bp.l_rx_own);
+        bp.s_rx_begin = lb.begin;
+        bp.s_rx_clampq = lb.clampq;
+        bp.s_rx_clamp = lb.clamp;
+        bp.s_rx_scanq = lb.scanq;
+        bp.s_rx_ownq = lb.ownq;
+        bp.s_rx_deliver = lb.deliver;
+        bp.s_rxd_adv = lb.d_adv;
+        bp.s_rxd_wrapq = lb.d_wrapq;
+        bp.s_rxd_wrap = lb.d_wrap;
+        bp.s_rx_adv = lb.adv;
+        bp.s_rx_wrapq = lb.wrapq;
+        bp.s_rx_wrap_do = lb.wrap_do;
+        bp.s_rx_drop = lb.drop;
+        bp.s_lb_done = prog.add_plain(
+            "pcnet_loopback.done",
+            {sb::assign(bp.xmit_pos, c(0, U32)),
+             sb::assign(bp.csr0, bor(P16(bp.csr0), c(kCsr0Tint, U16), U16))});
+
+        bp.s_erx_copy = prog.add_plain(
+            "pcnet_receive.copy",
+            {sb::buf_fill(bp.buffer, c(0, U32), local(bp.l_ext_len, U32),
+                          "buffer <- wire frame"),
+             sb::assign(bp.xmit_pos, local(bp.l_ext_len, U32),
+                        "frame length in buffer")});
+        const ChainIds erx = make_rx_chain("pcnet_receive", bp.l_erx_own);
+        bp.s_erx_begin = erx.begin;
+        bp.s_erx_clampq = erx.clampq;
+        bp.s_erx_clamp = erx.clamp;
+        bp.s_erx_scanq = erx.scanq;
+        bp.s_erx_ownq = erx.ownq;
+        bp.s_erx_deliver = erx.deliver;
+        bp.s_erxd_adv = erx.d_adv;
+        bp.s_erxd_wrapq = erx.d_wrapq;
+        bp.s_erxd_wrap = erx.d_wrap;
+        bp.s_erx_adv = erx.adv;
+        bp.s_erx_wrapq = erx.wrapq;
+        bp.s_erx_wrap_do = erx.wrap_do;
+        bp.s_erx_drop = erx.drop;
+        bp.s_erx_done = prog.add_plain("pcnet_receive.done",
+                                       {sb::assign(bp.xmit_pos, c(0, U32))});
+        bp.s_irq_rx = prog.add_indirect("pcnet_irq.rx", bp.irq_fn);
+
+        bp.program = std::make_unique<DeviceProgram>(std::move(prog));
+        return bp;
+      }()),
+                  mem, vulns) {}
+
+PcnetDevice::PcnetDevice(std::unique_ptr<Blueprint> bp,
+                         sedspec::GuestMemory* mem, Vulns vulns)
+    : Device(bp->program.get()), bp_(std::move(bp)), vulns_(vulns), dma_(mem) {
+  ictx().bind_function(bp_->f_irq, [this] { irq_line().pulse(); });
+  reset();
+}
+
+PcnetDevice::~PcnetDevice() = default;
+
+void PcnetDevice::reset_device() {
+  state().set(bp_->csr0, kCsr0Stop);
+  state().set(bp_->irq_fn, bp_->f_irq);
+  // Ring lengths default to 1 (csr76/78 = 0xffff) like the real chip.
+  state().set(bp_->csr76, 0xffff);
+  state().set(bp_->csr78, 0xffff);
+}
+
+uint64_t PcnetDevice::tx_desc_addr(const sedspec::StateAccess& view) const {
+  return view.param(bp_->tdra) +
+         uint64_t{kDescSize} * (view.param(bp_->xmtrc) & 0xffff);
+}
+
+uint64_t PcnetDevice::rx_desc_addr(const sedspec::StateAccess& view) const {
+  return view.param(bp_->rdra) +
+         uint64_t{kDescSize} * (view.param(bp_->rcvrc) & 0xffff);
+}
+
+std::optional<uint64_t> PcnetDevice::resolve_sync(
+    sedspec::LocalId id, const sedspec::IoAccess& /*io*/,
+    const sedspec::StateAccess& view) {
+  const sedspec::GuestMemory& mem = dma_.memory();
+  if (id == bp_->l_init_rdra || id == bp_->l_init_tdra) {
+    const uint64_t addr = (view.param(bp_->csr2) << 16) | view.param(bp_->csr1);
+    return mem.r32(addr + (id == bp_->l_init_rdra ? 0 : 4));
+  }
+  if (id == bp_->l_tx_own || id == bp_->l_tx_len || id == bp_->l_tx_enp) {
+    const uint64_t desc = tx_desc_addr(view);
+    if (id == bp_->l_tx_len) {
+      return mem.r32(desc + 8);
+    }
+    const uint32_t flags = mem.r32(desc + 4);
+    if (id == bp_->l_tx_own) {
+      return (flags & kDescOwn) ? 1 : 0;
+    }
+    return (flags & kDescEnp) ? 1 : 0;
+  }
+  if (id == bp_->l_fcs_pos) {
+    return view.param(bp_->xmit_pos);
+  }
+  if (id == bp_->l_rx_own || id == bp_->l_erx_own) {
+    const uint32_t flags = mem.r32(rx_desc_addr(view) + 4);
+    return (flags & kDescOwn) ? 1 : 0;
+  }
+  return std::nullopt;  // l_ext_len: wire-side only, never checked
+}
+
+uint64_t PcnetDevice::io_read(const sedspec::IoAccess& io) {
+  IoRound round(ictx(), io);
+  switch (io.addr - kBasePort) {
+    case kRegRdp: {
+      ictx().block(bp_->s_csr_read);
+      return csr_read_value(static_cast<uint16_t>(state().get(bp_->rap)));
+    }
+    case kRegRap:
+      ictx().block(bp_->s_rap_read);
+      return state().get(bp_->rap);
+    case kRegReset:
+      ictx().block(bp_->s_reset);
+      return 0;
+    case kRegBdp:
+      ictx().block(bp_->s_bdp_read);
+      return 0;
+    default:
+      return 0xffff;
+  }
+}
+
+uint16_t PcnetDevice::csr_read_value(uint16_t rap) const {
+  switch (rap) {
+    case 0:
+      return static_cast<uint16_t>(state().get(bp_->csr0));
+    case 1:
+      return static_cast<uint16_t>(state().get(bp_->csr1));
+    case 2:
+      return static_cast<uint16_t>(state().get(bp_->csr2));
+    case 3:
+      return static_cast<uint16_t>(state().get(bp_->csr3));
+    case 4:
+      return static_cast<uint16_t>(state().get(bp_->csr4));
+    case 15:
+      return static_cast<uint16_t>(state().get(bp_->csr15));
+    case 76:
+      return static_cast<uint16_t>(state().get(bp_->csr76));
+    case 78:
+      return static_cast<uint16_t>(state().get(bp_->csr78));
+    default:
+      return 0;
+  }
+}
+
+void PcnetDevice::io_write(const sedspec::IoAccess& io) {
+  IoRound round(ictx(), io);
+  switch (io.addr - kBasePort) {
+    case kRegRdp:
+      csr_write(static_cast<uint16_t>(state().get(bp_->rap)), io);
+      return;
+    case kRegRap:
+      ictx().block(bp_->s_rap_set);
+      return;
+    case kRegBdp:
+      ictx().block(bp_->s_bdp_write);
+      return;
+    default:
+      return;
+  }
+}
+
+void PcnetDevice::csr_write(uint16_t rap, const sedspec::IoAccess& /*io*/) {
+  auto& ic = ictx();
+  if (ic.branch(bp_->s_w_is0)) {
+    // CSR0: control/status.
+    ic.block(bp_->s_csr0_ack);
+    if (ic.branch(bp_->s_csr0_stopq)) {
+      ic.block(bp_->s_csr0_stop);
+      return;
+    }
+    if (ic.branch(bp_->s_csr0_initq)) {
+      const uint64_t iaddr =
+          (state().get(bp_->csr2) << 16) | state().get(bp_->csr1);
+      ic.set_local(bp_->l_init_rdra, dma_.memory().r32(iaddr));
+      ic.set_local(bp_->l_init_tdra, dma_.memory().r32(iaddr + 4));
+      ic.block(bp_->s_init);
+      ic.indirect(bp_->s_irq_init);
+    }
+    if (ic.branch(bp_->s_csr0_strtq)) {
+      ic.block(bp_->s_strt);
+    }
+    if (ic.branch(bp_->s_csr0_tdmdq)) {
+      do_transmit();
+    }
+    return;
+  }
+  if (ic.branch(bp_->s_w_is1)) {
+    ic.block(bp_->s_csr1_set);
+    return;
+  }
+  if (ic.branch(bp_->s_w_is2)) {
+    ic.block(bp_->s_csr2_set);
+    return;
+  }
+  if (ic.branch(bp_->s_w_is3)) {
+    ic.block(bp_->s_csr3_set);
+    return;
+  }
+  if (ic.branch(bp_->s_w_is4)) {
+    ic.block(bp_->s_csr4_set);
+    return;
+  }
+  if (ic.branch(bp_->s_w_is15)) {
+    ic.block(bp_->s_csr15_set);
+    return;
+  }
+  if (ic.branch(bp_->s_w_is76)) {
+    ic.block(bp_->s_csr76_set);
+    return;
+  }
+  if (ic.branch(bp_->s_w_is78)) {
+    ic.block(bp_->s_csr78_set);
+    return;
+  }
+  ic.block(bp_->s_csr_other_w);
+  (void)rap;
+}
+
+void PcnetDevice::do_transmit() {
+  auto& ic = ictx();
+  ic.block(bp_->s_tx_start);
+  uint32_t watchdog_counter = 0;
+  for (;;) {
+    const uint64_t desc = tx_desc_addr(state());
+    const uint32_t flags = dma_.memory().r32(desc + 4);
+    const uint32_t len = dma_.memory().r32(desc + 8);
+    ic.set_local(bp_->l_tx_own, (flags & kDescOwn) ? 1 : 0);
+    ic.set_local(bp_->l_tx_len, len);
+    ic.set_local(bp_->l_tx_enp, (flags & kDescEnp) ? 1 : 0);
+    if (!ic.branch(bp_->s_tx_desc)) {
+      ic.block(bp_->s_tx_done);
+      return;
+    }
+    // Patched devices bound the append (CVE-2015-7512 fix).
+    if (!vulns_.cve_2015_7512) {
+      if (!ic.branch(bp_->s_tx_boundq)) {
+        ic.block(bp_->s_tx_trunc);
+        ic.block(bp_->s_tx_done);
+        return;
+      }
+    }
+    const uint64_t payload = dma_.memory().r32(desc);
+    ic.block(bp_->s_tx_append, [&](std::span<uint8_t> dst) {
+      dma_.from_guest(payload, dst);
+    });
+    dma_.memory().w32(desc + 4, flags & ~kDescOwn);  // return to guest
+
+    if (ic.branch(bp_->s_tx_enpq)) {
+      // Frame complete.
+      if (ic.branch(bp_->s_tx_loopq)) {
+        uint32_t frame_len =
+            static_cast<uint32_t>(state().get(bp_->xmit_pos));
+        if (ic.branch(bp_->s_fcsq)) {
+          ic.set_local(bp_->l_fcs_pos, state().get(bp_->xmit_pos));
+          if (!vulns_.cve_2015_7504) {
+            if (ic.branch(bp_->s_fcs_boundq)) {
+              append_fcs();
+            } else {
+              ic.block(bp_->s_fcs_skip);
+            }
+          } else {
+            append_fcs();  // unpatched: no bound check
+          }
+          frame_len += 4;
+        }
+        RxSites sites{bp_->s_rx_begin, bp_->s_rx_clampq, bp_->s_rx_clamp,
+                      bp_->s_rx_scanq, bp_->s_rx_ownq,   bp_->s_rx_deliver,
+                      bp_->s_rxd_adv,  bp_->s_rxd_wrapq, bp_->s_rxd_wrap,
+                      bp_->s_rx_adv,   bp_->s_rx_wrapq,  bp_->s_rx_wrap_do,
+                      bp_->s_rx_drop,  bp_->l_rx_own};
+        rx_deliver(sites, std::min(frame_len, kBufferSize + 8));
+        ic.block(bp_->s_lb_done);
+      } else {
+        // Frame goes to the wire.
+        const auto len_out =
+            static_cast<uint32_t>(state().get(bp_->xmit_pos));
+        backend_delay();  // tap/wire write
+        auto buf = state().buffer_span(bp_->buffer);
+        tx_log_.emplace_back(
+            buf.begin(), buf.begin() + std::min<size_t>(len_out, buf.size()));
+        ic.block(bp_->s_tx_sent);
+      }
+      ic.indirect(bp_->s_irq_tx);
+    }
+
+    ic.block(bp_->s_tx_adv);
+    if (ic.branch(bp_->s_tx_wrapq)) {
+      ic.block(bp_->s_tx_wrap_do);
+    }
+    if (ic.watchdog(watchdog_counter, 4096, "pcnet transmit ring")) {
+      return;
+    }
+  }
+}
+
+void PcnetDevice::append_fcs() {
+  // The DSOD carries the store statements (through the fcs_pos temporary,
+  // set by the caller); the CRC bytes themselves are in the statements.
+  ictx().block(bp_->s_fcs);
+}
+
+void PcnetDevice::rx_deliver(const RxSites& sites, uint32_t len) {
+  auto& ic = ictx();
+  ic.block(sites.begin);
+  if (!vulns_.cve_2016_7909) {
+    if (ic.branch(sites.clampq)) {
+      ic.block(sites.clamp);
+    }
+  }
+  uint32_t watchdog_counter = 0;
+  for (;;) {
+    if (!ic.branch(sites.scanq)) {
+      ic.block(sites.drop);
+      return;
+    }
+    const uint64_t desc = rx_desc_addr(state());
+    const uint32_t flags = dma_.memory().r32(desc + 4);
+    ic.set_local(sites.l_own, (flags & kDescOwn) ? 1 : 0);
+    if (ic.branch(sites.ownq)) {
+      // Deliver into the guest buffer.
+      const uint64_t guest_buf = dma_.memory().r32(desc);
+      const uint32_t buf_len = dma_.memory().r32(desc + 8);
+      const uint32_t n = std::min(len, buf_len);
+      auto src = state().buffer_span(bp_->buffer);
+      dma_.to_guest(guest_buf,
+                    std::span<const uint8_t>(
+                        src.data(), std::min<size_t>(n, src.size())));
+      dma_.memory().w32(desc + 4, flags & ~kDescOwn);
+      dma_.memory().w32(desc + 12, n);  // msg_len
+      ic.block(sites.deliver);
+      ic.block(sites.d_adv);
+      if (ic.branch(sites.d_wrapq)) {
+        ic.block(sites.d_wrap);
+      }
+      return;
+    }
+    ic.block(sites.adv);
+    if (ic.branch(sites.wrapq)) {
+      ic.block(sites.wrap_do);
+    }
+    if (ic.watchdog(watchdog_counter, 20000, "pcnet rx descriptor scan")) {
+      return;
+    }
+  }
+}
+
+bool PcnetDevice::receive_frame(std::span<const uint8_t> frame) {
+  if ((state().get(bp_->csr0) & kCsr0Rxon) == 0 || halted()) {
+    return false;
+  }
+  backend_delay();  // tap/wire read
+  const sedspec::IoAccess io = rx_event(frame.size());
+  IoRound round(ictx(), io);
+  auto& ic = ictx();
+  ic.set_local(bp_->l_ext_len, frame.size());
+  ic.block(bp_->s_erx_copy, [&](std::span<uint8_t> dst) {
+    const size_t n = std::min(dst.size(), frame.size());
+    std::copy_n(frame.begin(), n, dst.begin());
+  });
+  const uint16_t rint_before = state().get(bp_->csr0) & kCsr0Rint;
+  RxSites sites{bp_->s_erx_begin, bp_->s_erx_clampq, bp_->s_erx_clamp,
+                bp_->s_erx_scanq, bp_->s_erx_ownq,   bp_->s_erx_deliver,
+                bp_->s_erxd_adv,  bp_->s_erxd_wrapq, bp_->s_erxd_wrap,
+                bp_->s_erx_adv,   bp_->s_erx_wrapq,  bp_->s_erx_wrap_do,
+                bp_->s_erx_drop,  bp_->l_erx_own};
+  rx_deliver(sites, static_cast<uint32_t>(
+                        std::min<size_t>(frame.size(), kBufferSize)));
+  ic.block(bp_->s_erx_done);
+  ic.indirect(bp_->s_irq_rx);
+  const bool delivered =
+      rint_before == 0 && (state().get(bp_->csr0) & kCsr0Rint) != 0;
+  notify_internal_activity();
+  return delivered;
+}
+
+}  // namespace sedspec::devices

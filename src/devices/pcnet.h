@@ -1,0 +1,186 @@
+// PCNet — AMD Am79C970A PCI network adapter (after QEMU's hw/net/pcnet.c).
+//
+// PMIO register block at 0x300: RDP (+0x10, CSR data), RAP (+0x12, register
+// address), RESET (+0x14), BDP (+0x16, BCR data). CSRs are selected through
+// RAP. The device DMAs an init block (ring base addresses) on CSR0.INIT,
+// and transmits by walking the TX descriptor ring on CSR0.TDMD, appending
+// chained descriptor payloads into the 4096-byte PCNetState.buffer at
+// xmit_pos. With CSR15.LOOP set, completed frames are looped back into the
+// receive path, which scans the RX descriptor ring (ring length derived
+// from CSR76 as 0x10000 - csr76) and DMAs the frame to the guest.
+//
+// Vulnerabilities (all in the loopback/receive path, as in QEMU 2.4-2.6):
+//  - CVE-2015-7504: when FCS appending is enabled (CSR15.DXMTFCS clear),
+//    the loopback path writes a 4-byte CRC at buffer[frame_len] through a
+//    temporary pointer. A 4096-byte frame puts the CRC exactly past the
+//    buffer, overwriting the adjacent irq_fn function pointer. The index is
+//    a non-state temporary, so SEDSpec's parameter check is blind to it —
+//    the indirect-jump check catches the corrupted pointer at the next
+//    interrupt call site. Patched: bound check before the CRC store.
+//  - CVE-2015-7512: the TX append loop does not bound xmit_pos + len, so
+//    chained descriptors can push the copy past the 4096-byte buffer.
+//    xmit_pos is a device-state index parameter, so the parameter check
+//    catches the overflow; the corruption also reaches irq_fn (indirect
+//    check). Patched: bound check before the append.
+//  - CVE-2016-7909: the receive descriptor scan bounds its search with the
+//    ring length 0x10000 - csr76; a guest writing CSR76 = 0 makes that
+//    65536, and the scan spins over the whole bogus ring (denial of
+//    service). Caught by the conditional-jump check's trained per-round
+//    visit bound. Patched: ring length clamped to the ring maximum.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "program/program.h"
+#include "vdev/device.h"
+#include "vdev/dma.h"
+
+namespace sedspec::devices {
+
+class PcnetDevice final : public sedspec::Device {
+ public:
+  struct Vulns {
+    bool cve_2015_7504 = false;  // unchecked loopback CRC store
+    bool cve_2015_7512 = false;  // unchecked TX append
+    bool cve_2016_7909 = false;  // unclamped RX ring length
+  };
+
+  static constexpr uint64_t kBasePort = 0x300;
+  static constexpr uint64_t kPortSpan = 0x20;
+  static constexpr uint64_t kRegRdp = 0x10;
+  static constexpr uint64_t kRegRap = 0x12;
+  static constexpr uint64_t kRegReset = 0x14;
+  static constexpr uint64_t kRegBdp = 0x16;
+
+  static constexpr uint32_t kBufferSize = 4096;
+  static constexpr uint32_t kDescSize = 16;
+  static constexpr uint32_t kMaxRing = 128;
+
+  // CSR0 bits.
+  static constexpr uint16_t kCsr0Init = 0x0001;
+  static constexpr uint16_t kCsr0Strt = 0x0002;
+  static constexpr uint16_t kCsr0Stop = 0x0004;
+  static constexpr uint16_t kCsr0Tdmd = 0x0008;
+  static constexpr uint16_t kCsr0Txon = 0x0010;
+  static constexpr uint16_t kCsr0Rxon = 0x0020;
+  static constexpr uint16_t kCsr0Iena = 0x0040;
+  static constexpr uint16_t kCsr0Idon = 0x0100;
+  static constexpr uint16_t kCsr0Tint = 0x0200;
+  static constexpr uint16_t kCsr0Rint = 0x0400;
+  static constexpr uint16_t kCsr0Miss = 0x1000;
+
+  // CSR15 (mode) bits.
+  static constexpr uint16_t kModeLoop = 0x0004;
+  static constexpr uint16_t kModeDxmtfcs = 0x0008;  // set = no FCS append
+
+  // Descriptor flag bits (simplified TMD/RMD).
+  static constexpr uint32_t kDescOwn = 0x1;
+  static constexpr uint32_t kDescStp = 0x2;
+  static constexpr uint32_t kDescEnp = 0x4;
+
+  PcnetDevice(sedspec::GuestMemory* mem, Vulns vulns);
+  explicit PcnetDevice(sedspec::GuestMemory* mem)
+      : PcnetDevice(mem, Vulns{}) {}
+  ~PcnetDevice() override;
+
+  uint64_t io_read(const sedspec::IoAccess& io) override;
+  void io_write(const sedspec::IoAccess& io) override;
+  std::optional<uint64_t> resolve_sync(
+      sedspec::LocalId local, const sedspec::IoAccess& io,
+      const sedspec::StateAccess& view) override;
+
+  /// Host-side frame delivery (the NIC's wire side). Runs the receive path
+  /// in a device-internal round; not guest I/O, so it is not checked.
+  /// Returns true if the frame was delivered to a guest RX buffer.
+  bool receive_frame(std::span<const uint8_t> frame);
+
+  /// Frames transmitted to the wire (non-loopback), for tests/benchmarks.
+  [[nodiscard]] const std::vector<std::vector<uint8_t>>& tx_log() const {
+    return tx_log_;
+  }
+  void clear_tx_log() { tx_log_.clear(); }
+
+  struct Blueprint;
+  [[nodiscard]] const Blueprint& blueprint() const { return *bp_; }
+
+ protected:
+  void reset_device() override;
+
+ private:
+  PcnetDevice(std::unique_ptr<Blueprint> bp, sedspec::GuestMemory* mem,
+              Vulns vulns);
+
+  struct RxSites;  // one instance for loopback, one for the wire side
+
+  void csr_write(uint16_t rap, const sedspec::IoAccess& io);
+  [[nodiscard]] uint16_t csr_read_value(uint16_t rap) const;
+  void do_transmit();
+  /// Scans the RX ring and delivers buffer[0..len) to the guest.
+  void rx_deliver(const RxSites& sites, uint32_t len);
+  void append_fcs();
+
+  // Native guest-memory helpers (also used by resolve_sync; all read-only
+  // with respect to device state).
+  [[nodiscard]] uint64_t tx_desc_addr(const sedspec::StateAccess& view) const;
+  [[nodiscard]] uint64_t rx_desc_addr(const sedspec::StateAccess& view) const;
+
+  std::unique_ptr<Blueprint> bp_;
+  Vulns vulns_;
+  sedspec::DmaEngine dma_;
+  std::vector<std::vector<uint8_t>> tx_log_;
+};
+
+struct PcnetDevice::Blueprint {
+  std::unique_ptr<sedspec::DeviceProgram> program;
+
+  // PCNetState fields.
+  sedspec::ParamId rap, csr0, csr1, csr2, csr3, csr4, csr15, csr76, csr78;
+  sedspec::ParamId rdra, tdra, rcvrc, xmtrc, rx_scan;
+  sedspec::ParamId xmit_pos, buffer, irq_fn;
+
+  // Sync locals (guest-memory-derived).
+  sedspec::LocalId l_init_rdra, l_init_tdra;
+  sedspec::LocalId l_tx_own, l_tx_len, l_tx_enp;
+  sedspec::LocalId l_fcs_pos;
+  sedspec::LocalId l_rx_own;   // loopback scan
+  sedspec::LocalId l_erx_own;  // wire-side scan
+  sedspec::LocalId l_ext_len;
+
+  // Register access sites.
+  sedspec::SiteId s_rap_set, s_rap_read, s_reset, s_csr_read;
+  sedspec::SiteId s_bdp_write, s_bdp_read;
+
+  // CSR write dispatch chain.
+  sedspec::SiteId s_w_is0, s_w_is1, s_w_is2, s_w_is3, s_w_is4, s_w_is15,
+      s_w_is76, s_w_is78;
+  sedspec::SiteId s_csr1_set, s_csr2_set, s_csr3_set, s_csr4_set,
+      s_csr15_set, s_csr76_set, s_csr78_set, s_csr_other_w;
+
+  // CSR0 control path.
+  sedspec::SiteId s_csr0_ack, s_csr0_stopq, s_csr0_stop, s_csr0_initq, s_init,
+      s_irq_init, s_csr0_strtq, s_strt, s_csr0_tdmdq;
+
+  // Transmit path.
+  sedspec::SiteId s_tx_start, s_tx_desc, s_tx_boundq, s_tx_trunc, s_tx_append,
+      s_tx_enpq, s_tx_adv, s_tx_wrapq, s_tx_wrap_do, s_tx_done;
+  sedspec::SiteId s_tx_loopq, s_fcsq, s_fcs_boundq, s_fcs, s_fcs_skip;
+  sedspec::SiteId s_tx_sent, s_irq_tx;
+
+  // Loopback receive chain.
+  sedspec::SiteId s_rx_begin, s_rx_clampq, s_rx_clamp, s_rx_scanq, s_rx_ownq,
+      s_rx_deliver, s_rxd_adv, s_rxd_wrapq, s_rxd_wrap, s_rx_adv, s_rx_wrapq,
+      s_rx_wrap_do, s_rx_drop, s_lb_done;
+
+  // Wire-side receive chain.
+  sedspec::SiteId s_erx_copy, s_erx_begin, s_erx_clampq, s_erx_clamp,
+      s_erx_scanq, s_erx_ownq, s_erx_deliver, s_erxd_adv, s_erxd_wrapq,
+      s_erxd_wrap, s_erx_adv, s_erx_wrapq, s_erx_wrap_do, s_erx_drop,
+      s_erx_done, s_irq_rx;
+
+  sedspec::FuncAddr f_irq;
+};
+
+}  // namespace sedspec::devices

@@ -1,0 +1,97 @@
+// Expression/statement evaluation.
+//
+// One evaluator serves both sides of SEDSpec:
+//  - devices execute statements with `checked = false` — native C wrapping
+//    semantics, mirroring the compiled emulated-device binary;
+//  - the ES-Checker evaluates with `checked = true`, which turns arithmetic
+//    that leaves the declared type's range, out-of-range shifts, division by
+//    zero, and buffer-bound violations into EvalDiag records — the raw
+//    material of the parameter check strategy (paper §VI-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "expr/expr.h"
+#include "expr/io.h"
+#include "expr/stmt.h"
+
+namespace sedspec {
+
+/// First anomaly observed while evaluating; evaluation continues (with
+/// wrapped values) so a whole statement list can run to completion.
+struct EvalDiag {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kIntegerOverflow,  // arithmetic result not representable in declared type
+    kBufferOob,        // buffer index outside the field's extent
+    kDivByZero,
+    kShiftOutOfRange,
+    kMissingLocal,  // local not resolvable (sync point required but absent)
+  };
+
+  Kind kind = Kind::kNone;
+  IntType type = IntType::kU64;  // kIntegerOverflow: the declared type
+  ParamId buffer = kInvalidParam;  // kBufferOob: which buffer field
+  uint64_t index = 0;              // kBufferOob: offending element index
+  bool oob_is_write = false;       // kBufferOob: store (true) or load (false)
+  LocalId local = 0;               // kMissingLocal
+  std::string note;                // originating statement annotation
+
+  [[nodiscard]] bool any() const { return kind != Kind::kNone; }
+
+  /// Records `k` only if no anomaly has been recorded yet.
+  void record(Kind k) {
+    if (kind == Kind::kNone) kind = k;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Mutable state behind evaluation: scalar fields, buffer fields, locals.
+/// Implemented by program::StateArena (device side and checker shadow side,
+/// with different out-of-bounds policies).
+class StateAccess {
+ public:
+  virtual ~StateAccess() = default;
+
+  [[nodiscard]] virtual uint64_t param(ParamId id) const = 0;
+  virtual void set_param(ParamId id, uint64_t raw) = 0;
+
+  /// Loads one buffer element. Out-of-bounds behavior is policy-defined:
+  /// the checker records kBufferOob in `diag`; the device clamps/ignores and
+  /// records a ground-truth incident.
+  virtual uint64_t buf_load(ParamId id, uint64_t index, EvalDiag* diag) = 0;
+  virtual void buf_store(ParamId id, uint64_t index, uint64_t raw,
+                         EvalDiag* diag) = 0;
+  /// Bulk store of `count` elements starting at `index` (data contents are
+  /// supplied natively by the device; the shadow side fills zeroes).
+  virtual void buf_fill(ParamId id, uint64_t index, uint64_t count,
+                        EvalDiag* diag) = 0;
+
+  /// Returns false if the local has no value (needs a sync point).
+  virtual bool local(LocalId id, uint64_t* out) const = 0;
+  virtual void set_local(LocalId id, uint64_t raw) = 0;
+
+  /// Side-effect-free buffer element read (out-of-range reads return 0).
+  /// Used by sync-point resolvers, which only get a const view.
+  [[nodiscard]] virtual uint64_t buf_peek(ParamId id,
+                                          uint64_t index) const = 0;
+};
+
+/// Evaluation context threading state, the current I/O access, the checking
+/// policy, and the diagnostic accumulator through an evaluation.
+struct EvalCtx {
+  StateAccess* state = nullptr;
+  const IoAccess* io = nullptr;
+  bool checked = false;
+  EvalDiag* diag = nullptr;  // required when checked
+};
+
+/// Evaluates `e`, returning the raw bit pattern truncated to e.type.
+[[nodiscard]] uint64_t eval_expr(const Expr& e, EvalCtx& ctx);
+
+/// Executes one statement against ctx.state.
+void exec_stmt(const Stmt& s, EvalCtx& ctx);
+
+}  // namespace sedspec

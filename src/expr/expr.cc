@@ -1,0 +1,313 @@
+#include "expr/expr.h"
+
+#include <sstream>
+
+namespace sedspec {
+
+bool is_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string type_name(IntType t) {
+  switch (t) {
+    case IntType::kU8:
+      return "u8";
+    case IntType::kU16:
+      return "u16";
+    case IntType::kU32:
+      return "u32";
+    case IntType::kU64:
+      return "u64";
+    case IntType::kI8:
+      return "i8";
+    case IntType::kI16:
+      return "i16";
+    case IntType::kI32:
+      return "i32";
+    case IntType::kI64:
+      return "i64";
+  }
+  return "?";
+}
+
+IntType unsigned_type_for_size(uint32_t size) {
+  switch (size) {
+    case 1:
+      return IntType::kU8;
+    case 2:
+      return IntType::kU16;
+    case 4:
+      return IntType::kU32;
+    case 8:
+      return IntType::kU64;
+  }
+  SEDSPEC_REQUIRE_MSG(false, "field size must be 1/2/4/8");
+  return IntType::kU64;
+}
+
+namespace {
+
+const char* bin_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kAnd:
+      return "&";
+    case BinaryOp::kOr:
+      return "|";
+    case BinaryOp::kXor:
+      return "^";
+    case BinaryOp::kShl:
+      return "<<";
+    case BinaryOp::kShr:
+      return ">>";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kLAnd:
+      return "&&";
+    case BinaryOp::kLOr:
+      return "||";
+  }
+  return "?";
+}
+
+void print(const Expr& e, std::ostringstream& out,
+           const std::string* (*param_name)(ParamId)) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      out << e.const_value;
+      break;
+    case ExprKind::kParam:
+      if (param_name != nullptr && param_name(e.param) != nullptr) {
+        out << *param_name(e.param);
+      } else {
+        out << "p" << e.param;
+      }
+      break;
+    case ExprKind::kLocal:
+      out << "local" << e.local;
+      break;
+    case ExprKind::kIoField:
+      switch (e.io_field) {
+        case IoField::kAddr:
+          out << "io.addr";
+          break;
+        case IoField::kValue:
+          out << "io.value";
+          break;
+        case IoField::kSize:
+          out << "io.size";
+          break;
+        case IoField::kIsWrite:
+          out << "io.is_write";
+          break;
+        case IoField::kSpace:
+          out << "io.space";
+          break;
+      }
+      break;
+    case ExprKind::kBufLoad:
+      if (param_name != nullptr && param_name(e.param) != nullptr) {
+        out << *param_name(e.param);
+      } else {
+        out << "p" << e.param;
+      }
+      out << "[";
+      print(*e.lhs, out, param_name);
+      out << "]";
+      break;
+    case ExprKind::kUnary:
+      out << (e.un_op == UnaryOp::kNeg      ? "-"
+              : e.un_op == UnaryOp::kBitNot ? "~"
+                                            : "!");
+      out << "(";
+      print(*e.lhs, out, param_name);
+      out << ")";
+      break;
+    case ExprKind::kBinary:
+      out << "(";
+      print(*e.lhs, out, param_name);
+      out << " " << bin_op_name(e.bin_op) << " ";
+      print(*e.rhs, out, param_name);
+      out << ")";
+      break;
+    case ExprKind::kCast:
+      out << "(" << type_name(e.type) << ")(";
+      print(*e.lhs, out, param_name);
+      out << ")";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e,
+                      const std::string* (*param_name)(ParamId)) {
+  std::ostringstream out;
+  print(e, out, param_name);
+  return out.str();
+}
+
+void visit(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  if (e.lhs) visit(*e.lhs, fn);
+  if (e.rhs) visit(*e.rhs, fn);
+}
+
+namespace eb {
+
+namespace {
+ExprRef make(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+}  // namespace
+
+ExprRef c(uint64_t value, IntType type) {
+  Expr e;
+  e.kind = ExprKind::kConst;
+  e.type = type;
+  e.const_value = truncate_to(type, value);
+  return make(std::move(e));
+}
+
+ExprRef param(ParamId id, IntType type) {
+  Expr e;
+  e.kind = ExprKind::kParam;
+  e.type = type;
+  e.param = id;
+  return make(std::move(e));
+}
+
+ExprRef local(LocalId id, IntType type) {
+  Expr e;
+  e.kind = ExprKind::kLocal;
+  e.type = type;
+  e.local = id;
+  return make(std::move(e));
+}
+
+ExprRef io(IoField field, IntType type) {
+  Expr e;
+  e.kind = ExprKind::kIoField;
+  e.type = type;
+  e.io_field = field;
+  return make(std::move(e));
+}
+
+ExprRef io_value(IntType type) { return io(IoField::kValue, type); }
+
+ExprRef buf_load(ParamId buffer, ExprRef index, IntType elem_type) {
+  Expr e;
+  e.kind = ExprKind::kBufLoad;
+  e.type = elem_type;
+  e.param = buffer;
+  e.lhs = std::move(index);
+  return make(std::move(e));
+}
+
+ExprRef un(UnaryOp op, ExprRef operand, IntType type) {
+  Expr e;
+  e.kind = ExprKind::kUnary;
+  e.type = type;
+  e.un_op = op;
+  e.lhs = std::move(operand);
+  return make(std::move(e));
+}
+
+ExprRef bin(BinaryOp op, ExprRef lhs, ExprRef rhs, IntType type) {
+  Expr e;
+  e.kind = ExprKind::kBinary;
+  e.type = type;
+  e.bin_op = op;
+  e.lhs = std::move(lhs);
+  e.rhs = std::move(rhs);
+  return make(std::move(e));
+}
+
+ExprRef cast(ExprRef operand, IntType type) {
+  Expr e;
+  e.kind = ExprKind::kCast;
+  e.type = type;
+  e.lhs = std::move(operand);
+  return make(std::move(e));
+}
+
+ExprRef add(ExprRef l, ExprRef r, IntType t) {
+  return bin(BinaryOp::kAdd, std::move(l), std::move(r), t);
+}
+ExprRef sub(ExprRef l, ExprRef r, IntType t) {
+  return bin(BinaryOp::kSub, std::move(l), std::move(r), t);
+}
+ExprRef mul(ExprRef l, ExprRef r, IntType t) {
+  return bin(BinaryOp::kMul, std::move(l), std::move(r), t);
+}
+ExprRef band(ExprRef l, ExprRef r, IntType t) {
+  return bin(BinaryOp::kAnd, std::move(l), std::move(r), t);
+}
+ExprRef bor(ExprRef l, ExprRef r, IntType t) {
+  return bin(BinaryOp::kOr, std::move(l), std::move(r), t);
+}
+ExprRef shr(ExprRef l, ExprRef r, IntType t) {
+  return bin(BinaryOp::kShr, std::move(l), std::move(r), t);
+}
+ExprRef shl(ExprRef l, ExprRef r, IntType t) {
+  return bin(BinaryOp::kShl, std::move(l), std::move(r), t);
+}
+
+ExprRef eq(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kEq, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef ne(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kNe, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef lt(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kLt, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef le(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kLe, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef gt(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kGt, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef ge(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kGe, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef land(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kLAnd, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef lor(ExprRef l, ExprRef r) {
+  return bin(BinaryOp::kLOr, std::move(l), std::move(r), IntType::kU8);
+}
+ExprRef lnot(ExprRef v) {
+  return un(UnaryOp::kLogicalNot, std::move(v), IntType::kU8);
+}
+
+}  // namespace eb
+
+}  // namespace sedspec

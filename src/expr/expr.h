@@ -1,0 +1,130 @@
+// Expression AST.
+//
+// The statement-level "source code" of an emulated device (src/program) is
+// written in this small expression language: references to device-state
+// fields (Param), non-state variables (Local), the current I/O access
+// (IoField), constants, casts, buffer element loads, and arithmetic /
+// comparison operators with declared result types.
+//
+// Two consumers interpret the same AST:
+//  - the device's instrumentation context executes it with native C
+//    (wrapping) semantics — this *is* the device's behavior for the
+//    state-relevant slice of its code;
+//  - the ES-Checker evaluates it with checked semantics (UBSan-style
+//    overflow detection, buffer bounds), which implements the paper's
+//    parameter check strategy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "expr/ids.h"
+#include "expr/type.h"
+
+namespace sedspec {
+
+enum class ExprKind : uint8_t {
+  kConst,
+  kParam,    // scalar device-state field
+  kLocal,    // non-state variable (dataflow-recovery subject)
+  kIoField,  // field of the current IoAccess
+  kBufLoad,  // buffer-field element load: buf[index]
+  kUnary,
+  kBinary,
+  kCast,
+};
+
+enum class IoField : uint8_t { kAddr, kValue, kSize, kIsWrite, kSpace };
+
+enum class UnaryOp : uint8_t { kNeg, kBitNot, kLogicalNot };
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLAnd,
+  kLOr,
+};
+
+[[nodiscard]] bool is_comparison(BinaryOp op);
+
+struct Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  IntType type = IntType::kU64;  // declared result type
+
+  // kConst
+  uint64_t const_value = 0;
+  // kParam / kBufLoad (the buffer field)
+  ParamId param = kInvalidParam;
+  // kLocal
+  LocalId local = 0;
+  // kIoField
+  IoField io_field = IoField::kValue;
+  // kUnary / kBinary
+  UnaryOp un_op = UnaryOp::kNeg;
+  BinaryOp bin_op = BinaryOp::kAdd;
+  ExprRef lhs;  // also: cast operand, buf-load index, unary operand
+  ExprRef rhs;
+};
+
+/// Pretty-prints an expression (param/local names resolved by callbacks that
+/// may be null, in which case numeric ids are printed).
+std::string to_string(const Expr& e,
+                      const std::string* (*param_name)(ParamId) = nullptr);
+
+// --- Builders -------------------------------------------------------------
+// Terse factory helpers; device programs are written with these.
+namespace eb {
+
+ExprRef c(uint64_t value, IntType type = IntType::kU64);
+ExprRef param(ParamId id, IntType type);
+ExprRef local(LocalId id, IntType type);
+ExprRef io(IoField field, IntType type = IntType::kU64);
+ExprRef io_value(IntType type = IntType::kU64);
+ExprRef buf_load(ParamId buffer, ExprRef index, IntType elem_type);
+ExprRef un(UnaryOp op, ExprRef operand, IntType type);
+ExprRef bin(BinaryOp op, ExprRef lhs, ExprRef rhs, IntType type);
+ExprRef cast(ExprRef operand, IntType type);
+
+ExprRef add(ExprRef l, ExprRef r, IntType t);
+ExprRef sub(ExprRef l, ExprRef r, IntType t);
+ExprRef mul(ExprRef l, ExprRef r, IntType t);
+ExprRef band(ExprRef l, ExprRef r, IntType t);
+ExprRef bor(ExprRef l, ExprRef r, IntType t);
+ExprRef shr(ExprRef l, ExprRef r, IntType t);
+ExprRef shl(ExprRef l, ExprRef r, IntType t);
+
+// Comparisons produce kU8 booleans.
+ExprRef eq(ExprRef l, ExprRef r);
+ExprRef ne(ExprRef l, ExprRef r);
+ExprRef lt(ExprRef l, ExprRef r);
+ExprRef le(ExprRef l, ExprRef r);
+ExprRef gt(ExprRef l, ExprRef r);
+ExprRef ge(ExprRef l, ExprRef r);
+ExprRef land(ExprRef l, ExprRef r);
+ExprRef lor(ExprRef l, ExprRef r);
+ExprRef lnot(ExprRef v);
+
+}  // namespace eb
+
+/// Calls `fn(node)` for every node of the expression tree (pre-order).
+void visit(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+}  // namespace sedspec

@@ -1,0 +1,29 @@
+// Shared identifier types for the device-program model.
+//
+// ParamId  — index of a field in a device's control-structure layout
+//            (src/program/layout.h). The CFG analyzer selects a subset of
+//            fields as "device state parameters" (paper §IV-B); statements
+//            and guards reference fields by ParamId.
+// LocalId  — a non-state variable (temporary, DMA-derived length, config
+//            constant). Locals are the subject of data-dependency recovery
+//            (paper §V-D): either rewritten in terms of ParamIds or resolved
+//            through a sync point at runtime.
+// SiteId   — an instrumentation site (basic-block entry / conditional jump /
+//            indirect jump) in a device's code. Stable per device.
+// FuncAddr — the "address" of a device-internal function; indirect-jump
+//            targets are FuncAddr values stored in function-pointer fields.
+#pragma once
+
+#include <cstdint>
+
+namespace sedspec {
+
+using ParamId = uint16_t;
+using LocalId = uint16_t;
+using SiteId = uint16_t;
+using FuncAddr = uint64_t;
+
+inline constexpr ParamId kInvalidParam = 0xffff;
+inline constexpr SiteId kInvalidSite = 0xffff;
+
+}  // namespace sedspec

@@ -1,0 +1,40 @@
+// The I/O interaction unit.
+//
+// One IoAccess is one guest-initiated register access (PMIO or MMIO) — the
+// granularity at which KVM exits to the emulator and at which SEDSpec runs
+// one ES-CFG traversal round (paper §V-A: "for each I/O interaction round").
+#pragma once
+
+#include <cstdint>
+
+namespace sedspec {
+
+enum class IoSpace : uint8_t { kPio = 0, kMmio = 1 };
+
+struct IoAccess {
+  IoSpace space = IoSpace::kPio;
+  uint64_t addr = 0;   // port number (PMIO) or physical address (MMIO)
+  uint8_t size = 1;    // access width in bytes: 1, 2, 4, or 8
+  uint64_t value = 0;  // data written (writes) or returned (reads)
+  bool is_write = false;
+
+  friend bool operator==(const IoAccess&, const IoAccess&) = default;
+};
+
+/// Key identifying the *kind* of access for ES-CFG entry-block dispatch:
+/// same space/addr/direction => same first block (paper §V-A: the entry
+/// block "parses the target address/port of the I/O request").
+struct IoKey {
+  IoSpace space = IoSpace::kPio;
+  uint64_t addr = 0;
+  bool is_write = false;
+
+  friend bool operator==(const IoKey&, const IoKey&) = default;
+  friend auto operator<=>(const IoKey&, const IoKey&) = default;
+};
+
+inline IoKey key_of(const IoAccess& io) {
+  return IoKey{io.space, io.addr, io.is_write};
+}
+
+}  // namespace sedspec

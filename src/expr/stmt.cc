@@ -1,0 +1,74 @@
+#include "expr/stmt.h"
+
+#include <sstream>
+
+namespace sedspec {
+
+std::string to_string(const Stmt& s) {
+  std::ostringstream out;
+  switch (s.kind) {
+    case StmtKind::kAssignParam:
+      out << "p" << s.param << " = " << to_string(*s.value);
+      break;
+    case StmtKind::kAssignLocal:
+      out << "local" << s.local << " = " << to_string(*s.value);
+      break;
+    case StmtKind::kBufStore:
+      out << "p" << s.param << "[" << to_string(*s.index)
+          << "] = " << to_string(*s.value);
+      break;
+    case StmtKind::kBufFill:
+      out << "p" << s.param << "[" << to_string(*s.index) << " .. +"
+          << to_string(*s.count) << ") = <data>";
+      break;
+  }
+  if (!s.note.empty()) {
+    out << "  // " << s.note;
+  }
+  return out.str();
+}
+
+namespace sb {
+
+Stmt assign(ParamId field, ExprRef value, std::string note) {
+  Stmt s;
+  s.kind = StmtKind::kAssignParam;
+  s.param = field;
+  s.value = std::move(value);
+  s.note = std::move(note);
+  return s;
+}
+
+Stmt assign_local(LocalId local, ExprRef value, std::string note) {
+  Stmt s;
+  s.kind = StmtKind::kAssignLocal;
+  s.local = local;
+  s.value = std::move(value);
+  s.note = std::move(note);
+  return s;
+}
+
+Stmt buf_store(ParamId buffer, ExprRef index, ExprRef value,
+               std::string note) {
+  Stmt s;
+  s.kind = StmtKind::kBufStore;
+  s.param = buffer;
+  s.index = std::move(index);
+  s.value = std::move(value);
+  s.note = std::move(note);
+  return s;
+}
+
+Stmt buf_fill(ParamId buffer, ExprRef index, ExprRef count, std::string note) {
+  Stmt s;
+  s.kind = StmtKind::kBufFill;
+  s.param = buffer;
+  s.index = std::move(index);
+  s.count = std::move(count);
+  s.note = std::move(note);
+  return s;
+}
+
+}  // namespace sb
+
+}  // namespace sedspec

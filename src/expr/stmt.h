@@ -1,0 +1,54 @@
+// Statements: the Device State Operation Data (DSOD) vocabulary.
+//
+// A device program block's DSOD is a list of these statements (paper §V-A:
+// "DSOD comprises source code statements that manipulate the device
+// state"). Four forms suffice for the five devices:
+//   assign        field  = expr
+//   assign_local  local  = expr           (dataflow-recovery subject)
+//   buf_store     field[index] = expr     (single element)
+//   buf_fill      field[index .. index+count) = <native data>  (bulk copy;
+//                 only the extent matters to the checker)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace sedspec {
+
+enum class StmtKind : uint8_t {
+  kAssignParam,
+  kAssignLocal,
+  kBufStore,
+  kBufFill,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kAssignParam;
+  ParamId param = kInvalidParam;  // target field (assign / buf_*)
+  LocalId local = 0;              // target local (assign_local)
+  ExprRef value;                  // assign / assign_local / buf_store
+  ExprRef index;                  // buf_store / buf_fill
+  ExprRef count;                  // buf_fill
+  std::string note;               // source-line-like annotation
+};
+
+using StmtList = std::vector<Stmt>;
+
+/// Pretty-prints a statement for diagnostics and the spec-inspector example.
+std::string to_string(const Stmt& s);
+
+// --- Builders ---------------------------------------------------------------
+namespace sb {
+
+Stmt assign(ParamId field, ExprRef value, std::string note = {});
+Stmt assign_local(LocalId local, ExprRef value, std::string note = {});
+Stmt buf_store(ParamId buffer, ExprRef index, ExprRef value,
+               std::string note = {});
+Stmt buf_fill(ParamId buffer, ExprRef index, ExprRef count,
+              std::string note = {});
+
+}  // namespace sb
+
+}  // namespace sedspec

@@ -1,0 +1,111 @@
+#include "guest/ehci_driver.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace sedspec::guest {
+
+namespace {
+using sedspec::devices::EhciDevice;
+constexpr uint64_t kBase = EhciDevice::kBaseAddr;
+}  // namespace
+
+void EhciDriver::w32(uint64_t reg, uint32_t v) {
+  ++io_count_;
+  bus_->write(IoSpace::kMmio, kBase + reg, 4, v);
+}
+
+uint32_t EhciDriver::r32(uint64_t reg) {
+  ++io_count_;
+  return static_cast<uint32_t>(bus_->read(IoSpace::kMmio, kBase + reg, 4));
+}
+
+void EhciDriver::start_controller() {
+  w32(EhciDevice::kRegUsbCmd, EhciDevice::kCmdRun);
+  (void)r32(EhciDevice::kRegUsbSts);
+  (void)r32(EhciDevice::kRegPortSc);
+}
+
+void EhciDriver::token(uint32_t pid, uint32_t len, uint64_t buf_addr) {
+  mem_->w32(kQtdAddr, (pid & 3) | (len << 16));
+  mem_->w32(kQtdAddr + 4, static_cast<uint32_t>(buf_addr));
+  w32(EhciDevice::kRegAsyncListAddr, static_cast<uint32_t>(kQtdAddr));
+  w32(EhciDevice::kRegUsbCmd,
+      EhciDevice::kCmdRun | EhciDevice::kCmdDoorbell);
+  const uint32_t sts = r32(EhciDevice::kRegUsbSts);
+  if (sts & 1) {
+    w32(EhciDevice::kRegUsbSts, 1);  // ack USBINT
+  }
+}
+
+void EhciDriver::setup_packet(uint8_t bm_request_type, uint8_t b_request,
+                              uint16_t w_value, uint16_t w_length) {
+  uint8_t pkt[8] = {};
+  pkt[0] = bm_request_type;
+  pkt[1] = b_request;
+  pkt[2] = static_cast<uint8_t>(w_value);
+  pkt[3] = static_cast<uint8_t>(w_value >> 8);
+  pkt[6] = static_cast<uint8_t>(w_length);
+  pkt[7] = static_cast<uint8_t>(w_length >> 8);
+  mem_->write(kSetupAddr, pkt);
+  token(EhciDevice::kPidSetup, 8, kSetupAddr);
+}
+
+void EhciDriver::interrupt_poll() {
+  token(EhciDevice::kPidIn, 8, kDataAddr);
+}
+
+void EhciDriver::status_out() { token(EhciDevice::kPidOut, 0, kDataAddr); }
+
+void EhciDriver::read_block(uint16_t block, std::span<uint8_t> out,
+                            uint32_t chunk) {
+  setup_packet(0x80 | 0x40, EhciDevice::kReqRead, block,
+               static_cast<uint16_t>(out.size()));
+  size_t off = 0;
+  while (off < out.size()) {
+    const auto n =
+        static_cast<uint32_t>(std::min<size_t>(chunk, out.size() - off));
+    token(EhciDevice::kPidIn, n, kDataAddr + off);
+    off += n;
+  }
+  status_out();
+  mem_->read(kDataAddr, out);
+}
+
+void EhciDriver::read_block_short(uint16_t block, std::span<uint8_t> out) {
+  setup_packet(0x80 | 0x40, EhciDevice::kReqRead, block,
+               static_cast<uint16_t>(out.size()));
+  // Request more than remains: the device clamps (short packet).
+  token(EhciDevice::kPidIn, static_cast<uint32_t>(out.size() + 64), kDataAddr);
+  status_out();
+  mem_->read(kDataAddr, out);
+}
+
+void EhciDriver::write_block_short(uint16_t block,
+                                   std::span<const uint8_t> data) {
+  setup_packet(0x40, EhciDevice::kReqWrite, block,
+               static_cast<uint16_t>(data.size()));
+  mem_->write(kDataAddr, data);
+  // One oversized OUT: the device clamps to the declared length.
+  token(EhciDevice::kPidOut, static_cast<uint32_t>(data.size() + 32),
+        kDataAddr);
+  status_out();
+}
+
+void EhciDriver::write_block(uint16_t block, std::span<const uint8_t> data,
+                             uint32_t chunk) {
+  setup_packet(0x40, EhciDevice::kReqWrite, block,
+               static_cast<uint16_t>(data.size()));
+  mem_->write(kDataAddr, data);
+  size_t off = 0;
+  while (off < data.size()) {
+    const auto n =
+        static_cast<uint32_t>(std::min<size_t>(chunk, data.size() - off));
+    token(EhciDevice::kPidOut, n, kDataAddr + off);
+    off += n;
+  }
+  status_out();
+}
+
+}  // namespace sedspec::guest

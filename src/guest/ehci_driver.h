@@ -1,0 +1,60 @@
+// Guest-side EHCI driver model: queues simplified qTDs and performs vendor
+// control transfers against the attached USB storage device.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "devices/ehci.h"
+#include "vdev/bus.h"
+#include "vdev/memory.h"
+
+namespace sedspec::guest {
+
+class EhciDriver {
+ public:
+  EhciDriver(sedspec::IoBus* bus, sedspec::GuestMemory* mem)
+      : bus_(bus), mem_(mem) {}
+
+  void w32(uint64_t reg, uint32_t v);
+  [[nodiscard]] uint32_t r32(uint64_t reg);
+
+  /// RUN + port check.
+  void start_controller();
+
+  /// Queues one qTD and rings the doorbell.
+  void token(uint32_t pid, uint32_t len, uint64_t buf_addr);
+  void setup_packet(uint8_t bm_request_type, uint8_t b_request,
+                    uint16_t w_value, uint16_t w_length);
+
+  /// Interrupt-endpoint poll: an IN token while no control transfer is
+  /// active (part of the benign vocabulary).
+  void interrupt_poll();
+
+  /// Vendor storage protocol.
+  void read_block(uint16_t block, std::span<uint8_t> out,
+                  uint32_t chunk = 512);
+  void write_block(uint16_t block, std::span<const uint8_t> data,
+                   uint32_t chunk = 512);
+  /// A read that requests more than it consumes, ending with a short
+  /// (clamped) IN — trains the clamp direction.
+  void read_block_short(uint16_t block, std::span<uint8_t> out);
+  /// A write whose final OUT is longer than the declared wLength — the
+  /// device clamps it (trains the OUT clamp direction).
+  void write_block_short(uint16_t block, std::span<const uint8_t> data);
+  void status_out();
+
+  [[nodiscard]] uint64_t io_count() const { return io_count_; }
+
+ private:
+  static constexpr uint64_t kQtdAddr = 0x1000;
+  static constexpr uint64_t kSetupAddr = 0x2000;
+  static constexpr uint64_t kDataAddr = 0x10000;
+
+  sedspec::IoBus* bus_;
+  sedspec::GuestMemory* mem_;
+  uint64_t io_count_ = 0;
+};
+
+}  // namespace sedspec::guest

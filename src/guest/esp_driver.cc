@@ -1,0 +1,146 @@
+#include "guest/esp_driver.h"
+
+#include "common/assert.h"
+
+namespace sedspec::guest {
+
+namespace {
+using sedspec::devices::EspScsiDevice;
+constexpr uint64_t kBase = EspScsiDevice::kBasePort;
+}  // namespace
+
+void EspDriver::out8(uint64_t reg, uint8_t v) {
+  ++io_count_;
+  bus_->write(IoSpace::kPio, kBase + reg, 1, v);
+}
+
+uint8_t EspDriver::in8(uint64_t reg) {
+  ++io_count_;
+  return static_cast<uint8_t>(bus_->read(IoSpace::kPio, kBase + reg, 1));
+}
+
+void EspDriver::bus_reset() {
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdBusReset);
+  (void)in8(EspScsiDevice::kRegIntr);
+}
+
+void EspDriver::flush_fifo() {
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdFlush);
+}
+
+void EspDriver::set_transfer_count(uint16_t tc) {
+  out8(EspScsiDevice::kRegTclo, static_cast<uint8_t>(tc & 0xff));
+  out8(EspScsiDevice::kRegTcmid, static_cast<uint8_t>(tc >> 8));
+}
+
+void EspDriver::set_dma_address(uint32_t addr) {
+  out8(EspScsiDevice::kRegDma0, static_cast<uint8_t>(addr));
+  out8(EspScsiDevice::kRegDma0 + 1, static_cast<uint8_t>(addr >> 8));
+  out8(EspScsiDevice::kRegDma0 + 2, static_cast<uint8_t>(addr >> 16));
+  out8(EspScsiDevice::kRegDma0 + 3, static_cast<uint8_t>(addr >> 24));
+}
+
+void EspDriver::select_fifo(std::span<const uint8_t> cdb) {
+  flush_fifo();
+  out8(EspScsiDevice::kRegFifo, 0x80);  // IDENTIFY message
+  for (uint8_t b : cdb) {
+    out8(EspScsiDevice::kRegFifo, b);
+  }
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdSelAtn);
+  (void)in8(EspScsiDevice::kRegIntr);
+  (void)in8(EspScsiDevice::kRegStatus);
+}
+
+void EspDriver::select_dma(std::span<const uint8_t> cdb) {
+  flush_fifo();
+  mem_->write(kCdbAddr, cdb);
+  set_dma_address(static_cast<uint32_t>(kCdbAddr));
+  set_transfer_count(static_cast<uint16_t>(cdb.size()));
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdSelAtnDma);
+  (void)in8(EspScsiDevice::kRegIntr);
+  (void)in8(EspScsiDevice::kRegStatus);
+}
+
+void EspDriver::transfer_dma(uint64_t guest_addr, uint16_t len) {
+  set_dma_address(static_cast<uint32_t>(guest_addr));
+  set_transfer_count(len);
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdTiDma);
+  (void)in8(EspScsiDevice::kRegIntr);
+  (void)in8(EspScsiDevice::kRegStatus);
+}
+
+void EspDriver::complete() {
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdIccs);
+  (void)in8(EspScsiDevice::kRegIntr);
+  (void)in8(EspScsiDevice::kRegFifo);  // status byte
+  (void)in8(EspScsiDevice::kRegFifo);  // message byte
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdMsgAcc);
+}
+
+void EspDriver::test_unit_ready(bool dma_select) {
+  const uint8_t cdb[6] = {EspScsiDevice::kScsiTestUnitReady, 0, 0, 0, 0, 0};
+  if (dma_select) {
+    select_dma(cdb);
+  } else {
+    select_fifo(cdb);
+  }
+  complete();
+}
+
+std::vector<uint8_t> EspDriver::inquiry(bool dma_select) {
+  const uint8_t cdb[6] = {EspScsiDevice::kScsiInquiry, 0, 0, 0, 36, 0};
+  if (dma_select) {
+    select_dma(cdb);
+  } else {
+    select_fifo(cdb);
+  }
+  transfer_dma(kDataAddr, 36);
+  complete();
+  std::vector<uint8_t> out(36);
+  mem_->read(kDataAddr, out);
+  return out;
+}
+
+std::vector<uint8_t> EspDriver::request_sense() {
+  const uint8_t cdb[6] = {EspScsiDevice::kScsiRequestSense, 0, 0, 0, 18, 0};
+  select_fifo(cdb);
+  transfer_dma(kDataAddr, 18);
+  complete();
+  std::vector<uint8_t> out(18);
+  mem_->read(kDataAddr, out);
+  return out;
+}
+
+void EspDriver::read_blocks(uint32_t lba, uint8_t blocks,
+                            std::span<uint8_t> out) {
+  SEDSPEC_REQUIRE(out.size() ==
+                  size_t{blocks} * EspScsiDevice::kBlockSize);
+  const uint8_t cdb[6] = {EspScsiDevice::kScsiRead6,
+                          static_cast<uint8_t>((lba >> 16) & 0x1f),
+                          static_cast<uint8_t>(lba >> 8),
+                          static_cast<uint8_t>(lba), blocks, 0};
+  select_dma(cdb);
+  transfer_dma(kDataAddr, static_cast<uint16_t>(out.size()));
+  complete();
+  mem_->read(kDataAddr, out);
+}
+
+void EspDriver::write_blocks(uint32_t lba, uint8_t blocks,
+                             std::span<const uint8_t> data) {
+  SEDSPEC_REQUIRE(data.size() ==
+                  size_t{blocks} * EspScsiDevice::kBlockSize);
+  const uint8_t cdb[6] = {EspScsiDevice::kScsiWrite6,
+                          static_cast<uint8_t>((lba >> 16) & 0x1f),
+                          static_cast<uint8_t>(lba >> 8),
+                          static_cast<uint8_t>(lba), blocks, 0};
+  mem_->write(kDataAddr, data);
+  select_dma(cdb);
+  transfer_dma(kDataAddr, static_cast<uint16_t>(data.size()));
+  complete();
+}
+
+void EspDriver::set_atn() {
+  out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdSetAtn);
+}
+
+}  // namespace sedspec::guest

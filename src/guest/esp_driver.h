@@ -1,0 +1,58 @@
+// Guest-side ESP SCSI driver model (sym53c9x-style).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "devices/esp_scsi.h"
+#include "vdev/bus.h"
+#include "vdev/memory.h"
+
+namespace sedspec::guest {
+
+class EspDriver {
+ public:
+  EspDriver(sedspec::IoBus* bus, sedspec::GuestMemory* mem)
+      : bus_(bus), mem_(mem) {}
+
+  void out8(uint64_t reg, uint8_t v);
+  [[nodiscard]] uint8_t in8(uint64_t reg);
+
+  void bus_reset();
+  void flush_fifo();
+  void set_transfer_count(uint16_t tc);
+  void set_dma_address(uint32_t addr);
+
+  /// Non-DMA SELECT-with-ATN: identify message + CDB through the FIFO.
+  void select_fifo(std::span<const uint8_t> cdb);
+  /// DMA SELECT-with-ATN: CDB fetched from guest memory.
+  void select_dma(std::span<const uint8_t> cdb);
+  /// DMA TRANSFER INFO for the data phase.
+  void transfer_dma(uint64_t guest_addr, uint16_t len);
+  /// ICCS + read status/message + MESSAGE ACCEPTED.
+  void complete();
+
+  // Full SCSI operations (training / workload vocabulary).
+  void test_unit_ready(bool dma_select);
+  std::vector<uint8_t> inquiry(bool dma_select);
+  std::vector<uint8_t> request_sense();
+  void read_blocks(uint32_t lba, uint8_t blocks, std::span<uint8_t> out);
+  void write_blocks(uint32_t lba, uint8_t blocks,
+                    std::span<const uint8_t> data);
+
+  /// Rare-but-legal controller command (FP source).
+  void set_atn();
+
+  [[nodiscard]] uint64_t io_count() const { return io_count_; }
+
+ private:
+  static constexpr uint64_t kCdbAddr = 0x8000;
+  static constexpr uint64_t kDataAddr = 0x90000;
+
+  sedspec::IoBus* bus_;
+  sedspec::GuestMemory* mem_;
+  uint64_t io_count_ = 0;
+};
+
+}  // namespace sedspec::guest

@@ -1,0 +1,153 @@
+#include "guest/fdc_driver.h"
+
+#include "common/assert.h"
+
+namespace sedspec::guest {
+
+namespace {
+using sedspec::devices::FdcDevice;
+constexpr uint64_t kBase = FdcDevice::kBasePort;
+}  // namespace
+
+uint8_t FdcDriver::read_msr() {
+  ++io_count_;
+  return static_cast<uint8_t>(bus_->read(IoSpace::kPio, kBase + 4, 1));
+}
+
+void FdcDriver::write_dor(uint8_t value) {
+  ++io_count_;
+  bus_->write(IoSpace::kPio, kBase + 2, 1, value);
+}
+
+void FdcDriver::write_fifo(uint8_t value) {
+  ++io_count_;
+  bus_->write(IoSpace::kPio, kBase + 5, 1, value);
+}
+
+uint8_t FdcDriver::read_fifo() {
+  ++io_count_;
+  return static_cast<uint8_t>(bus_->read(IoSpace::kPio, kBase + 5, 1));
+}
+
+void FdcDriver::reset() {
+  write_dor(0x00);  // enter reset
+  write_dor(0x0c);  // leave reset, DMA gate + enable
+  (void)read_msr();
+}
+
+void FdcDriver::send_command(std::span<const uint8_t> bytes) {
+  for (uint8_t b : bytes) {
+    (void)read_msr();  // a real driver polls RQM before each byte
+    write_fifo(b);
+  }
+}
+
+std::vector<uint8_t> FdcDriver::read_result(size_t n) {
+  std::vector<uint8_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (void)read_msr();
+    out.push_back(read_fifo());
+  }
+  return out;
+}
+
+void FdcDriver::specify() {
+  const uint8_t cmd[] = {FdcDevice::kCmdSpecify, 0xdf, 0x02};
+  send_command(cmd);
+}
+
+void FdcDriver::configure() {
+  const uint8_t cmd[] = {FdcDevice::kCmdConfigure, 0x00, 0x57, 0x00};
+  send_command(cmd);
+}
+
+uint8_t FdcDriver::version() {
+  const uint8_t cmd[] = {FdcDevice::kCmdVersion};
+  send_command(cmd);
+  return read_result(1)[0];
+}
+
+uint8_t FdcDriver::sense_drive_status() {
+  const uint8_t cmd[] = {FdcDevice::kCmdSenseDrive, 0x00};
+  send_command(cmd);
+  return read_result(1)[0];
+}
+
+void FdcDriver::recalibrate() {
+  const uint8_t cmd[] = {FdcDevice::kCmdRecalibrate, 0x00};
+  send_command(cmd);
+  (void)sense_interrupt();
+}
+
+void FdcDriver::seek(uint8_t track) {
+  const uint8_t cmd[] = {FdcDevice::kCmdSeek, 0x00, track};
+  send_command(cmd);
+  (void)sense_interrupt();
+}
+
+std::pair<uint8_t, uint8_t> FdcDriver::sense_interrupt() {
+  const uint8_t cmd[] = {FdcDevice::kCmdSenseInt};
+  send_command(cmd);
+  auto res = read_result(2);
+  return {res[0], res[1]};
+}
+
+void FdcDriver::read_sector(uint8_t track, uint8_t head, uint8_t sector,
+                            std::span<uint8_t> out) {
+  SEDSPEC_REQUIRE(out.size() == FdcDevice::kSectorSize);
+  const uint8_t cmd[] = {FdcDevice::kCmdRead,
+                         static_cast<uint8_t>(head << 2),
+                         track,
+                         head,
+                         sector,
+                         2,     // 512-byte sectors
+                         0x24,  // EOT
+                         0x1b,  // GPL
+                         0xff};
+  send_command(cmd);
+  for (auto& byte : out) {
+    (void)read_msr();
+    byte = read_fifo();
+  }
+  (void)read_result(7);
+}
+
+void FdcDriver::write_sector(uint8_t track, uint8_t head, uint8_t sector,
+                             std::span<const uint8_t> data) {
+  SEDSPEC_REQUIRE(data.size() == FdcDevice::kSectorSize);
+  const uint8_t cmd[] = {FdcDevice::kCmdWrite,
+                         static_cast<uint8_t>(head << 2),
+                         track,
+                         head,
+                         sector,
+                         2,
+                         0x24,
+                         0x1b,
+                         0xff};
+  send_command(cmd);
+  for (uint8_t byte : data) {
+    (void)read_msr();
+    write_fifo(byte);
+  }
+  (void)read_result(7);
+}
+
+std::vector<uint8_t> FdcDriver::read_id() {
+  const uint8_t cmd[] = {FdcDevice::kCmdReadId};
+  send_command(cmd);
+  return read_result(7);
+}
+
+std::vector<uint8_t> FdcDriver::dumpreg() {
+  const uint8_t cmd[] = {FdcDevice::kCmdDumpReg};
+  send_command(cmd);
+  return read_result(10);
+}
+
+void FdcDriver::perpendicular() {
+  const uint8_t cmd[] = {FdcDevice::kCmdPerpendicular, 0x00};
+  send_command(cmd);
+}
+
+}  // namespace sedspec::guest

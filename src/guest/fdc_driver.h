@@ -1,0 +1,63 @@
+// Guest-side floppy driver model.
+//
+// Issues the same PMIO sequences a real guest floppy driver would: MSR
+// polling before every FIFO byte, three-phase command protocol, DOR reset
+// on initialization. Drivers talk to the device only through the IoBus, so
+// every access passes through the deployed ES-Checker like real guest I/O.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "devices/fdc.h"
+#include "vdev/bus.h"
+
+namespace sedspec::guest {
+
+class FdcDriver {
+ public:
+  explicit FdcDriver(sedspec::IoBus* bus) : bus_(bus) {}
+
+  // Register-level primitives.
+  [[nodiscard]] uint8_t read_msr();
+  void write_dor(uint8_t value);
+  void write_fifo(uint8_t value);
+  [[nodiscard]] uint8_t read_fifo();
+
+  /// DOR-toggle controller reset.
+  void reset();
+
+  /// Sends command + parameter bytes, polling MSR before each byte.
+  void send_command(std::span<const uint8_t> bytes);
+  /// Reads `n` result bytes.
+  std::vector<uint8_t> read_result(size_t n);
+
+  // Command wrappers (the benign training/workload vocabulary).
+  void specify();
+  void configure();
+  [[nodiscard]] uint8_t version();
+  [[nodiscard]] uint8_t sense_drive_status();
+  void recalibrate();
+  void seek(uint8_t track);
+  /// ST0/track pair from SENSE INTERRUPT.
+  std::pair<uint8_t, uint8_t> sense_interrupt();
+  void read_sector(uint8_t track, uint8_t head, uint8_t sector,
+                   std::span<uint8_t> out);  // out.size() == 512
+  void write_sector(uint8_t track, uint8_t head, uint8_t sector,
+                    std::span<const uint8_t> data);
+
+  // Rare-but-legal commands (excluded from training; the FP source).
+  std::vector<uint8_t> read_id();
+  std::vector<uint8_t> dumpreg();
+  void perpendicular();
+
+  [[nodiscard]] uint64_t io_count() const { return io_count_; }
+
+ private:
+  sedspec::IoBus* bus_;
+  uint64_t io_count_ = 0;
+};
+
+}  // namespace sedspec::guest

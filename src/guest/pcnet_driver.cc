@@ -1,0 +1,131 @@
+#include "guest/pcnet_driver.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace sedspec::guest {
+
+namespace {
+using sedspec::devices::PcnetDevice;
+constexpr uint64_t kBase = PcnetDevice::kBasePort;
+}  // namespace
+
+void PcnetDriver::wcsr(uint16_t n, uint16_t v) {
+  io_count_ += 2;
+  bus_->write(IoSpace::kPio, kBase + PcnetDevice::kRegRap, 2, n);
+  bus_->write(IoSpace::kPio, kBase + PcnetDevice::kRegRdp, 2, v);
+}
+
+uint16_t PcnetDriver::rcsr(uint16_t n) {
+  io_count_ += 2;
+  bus_->write(IoSpace::kPio, kBase + PcnetDevice::kRegRap, 2, n);
+  return static_cast<uint16_t>(
+      bus_->read(IoSpace::kPio, kBase + PcnetDevice::kRegRdp, 2));
+}
+
+void PcnetDriver::soft_reset() {
+  ++io_count_;
+  (void)bus_->read(IoSpace::kPio, kBase + PcnetDevice::kRegReset, 2);
+}
+
+void PcnetDriver::setup(const Config& config) {
+  config_ = config;
+  tx_idx_ = 0;
+  rx_idx_ = 0;
+  soft_reset();
+
+  // Init block: {u32 rdra, u32 tdra}.
+  mem_->w32(kInitBlock, static_cast<uint32_t>(kRxRing));
+  mem_->w32(kInitBlock + 4, static_cast<uint32_t>(kTxRing));
+  for (uint16_t i = 0; i < config.tx_ring_len; ++i) {
+    mem_->w32(tx_desc(i) + 4, 0);  // not owned
+  }
+  post_rx_buffers();
+
+  wcsr(1, static_cast<uint16_t>(kInitBlock & 0xffff));
+  wcsr(2, static_cast<uint16_t>(kInitBlock >> 16));
+  uint16_t mode = 0;
+  if (config.loopback) {
+    mode |= PcnetDevice::kModeLoop;
+  }
+  if (!config.append_fcs) {
+    mode |= PcnetDevice::kModeDxmtfcs;
+  }
+  wcsr(15, mode);
+  wcsr(3, 0);
+  wcsr(4, 0x0915);
+  wcsr(76, static_cast<uint16_t>(0x10000 - config.rx_ring_len));
+  wcsr(78, static_cast<uint16_t>(0x10000 - config.tx_ring_len));
+  wcsr(0, PcnetDevice::kCsr0Init | PcnetDevice::kCsr0Strt |
+              PcnetDevice::kCsr0Iena);
+  (void)rcsr(0);  // poll IDON
+}
+
+void PcnetDriver::post_rx_buffers() {
+  for (uint16_t i = 0; i < config_.rx_ring_len; ++i) {
+    const uint64_t buf = kRxBuf + uint64_t{i} * kRxBufLen;
+    mem_->w32(rx_desc(i), static_cast<uint32_t>(buf));
+    mem_->w32(rx_desc(i) + 8, kRxBufLen);
+    mem_->w32(rx_desc(i) + 12, 0);
+    mem_->w32(rx_desc(i) + 4, PcnetDevice::kDescOwn);
+  }
+}
+
+void PcnetDriver::revoke_rx_buffers() {
+  for (uint16_t i = 0; i < config_.rx_ring_len; ++i) {
+    mem_->w32(rx_desc(i) + 4, 0);
+  }
+}
+
+void PcnetDriver::send(std::span<const uint8_t> frame, int chunks) {
+  SEDSPEC_REQUIRE(chunks >= 1 &&
+                  chunks <= static_cast<int>(config_.tx_ring_len));
+  const size_t chunk_size = (frame.size() + chunks - 1) / chunks;
+  size_t off = 0;
+  for (int k = 0; k < chunks; ++k) {
+    const size_t n = std::min(chunk_size, frame.size() - off);
+    const uint64_t payload = kTxBuf + uint64_t{tx_idx_} * 4200;
+    mem_->write(payload, frame.subspan(off, n));
+    uint32_t flags = PcnetDevice::kDescOwn;
+    if (k == 0) {
+      flags |= PcnetDevice::kDescStp;
+    }
+    if (k == chunks - 1) {
+      flags |= PcnetDevice::kDescEnp;
+    }
+    mem_->w32(tx_desc(tx_idx_), static_cast<uint32_t>(payload));
+    mem_->w32(tx_desc(tx_idx_) + 8, static_cast<uint32_t>(n));
+    mem_->w32(tx_desc(tx_idx_) + 4, flags);
+    tx_idx_ = static_cast<uint16_t>((tx_idx_ + 1) % config_.tx_ring_len);
+    off += n;
+  }
+  wcsr(0, PcnetDevice::kCsr0Tdmd | PcnetDevice::kCsr0Iena);
+}
+
+std::optional<std::vector<uint8_t>> PcnetDriver::poll_rx() {
+  const uint64_t desc = rx_desc(rx_idx_);
+  const uint32_t flags = mem_->r32(desc + 4);
+  if ((flags & PcnetDevice::kDescOwn) != 0) {
+    return std::nullopt;  // still device-owned... i.e. not yet delivered
+  }
+  const uint32_t msg_len = mem_->r32(desc + 12);
+  const uint64_t buf = mem_->r32(desc);
+  std::vector<uint8_t> frame(msg_len);
+  mem_->read(buf, frame);
+  // Repost the buffer.
+  mem_->w32(desc + 12, 0);
+  mem_->w32(desc + 4, PcnetDevice::kDescOwn);
+  rx_idx_ = static_cast<uint16_t>((rx_idx_ + 1) % config_.rx_ring_len);
+  return frame;
+}
+
+void PcnetDriver::ack_irq() {
+  wcsr(0, PcnetDevice::kCsr0Tint | PcnetDevice::kCsr0Rint |
+              PcnetDevice::kCsr0Idon | PcnetDevice::kCsr0Miss |
+              PcnetDevice::kCsr0Iena);
+}
+
+void PcnetDriver::write_rare_csr() { wcsr(47, 0); }
+
+}  // namespace sedspec::guest

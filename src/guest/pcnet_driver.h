@@ -1,0 +1,82 @@
+// Guest-side PCNet driver model.
+//
+// Owns the guest-memory layout a real lance/pcnet32 driver would set up:
+// the init block, TX/RX descriptor rings, and frame buffers. Mirrors the
+// device's ring cursors so chained sends land on the descriptors the device
+// will look at.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "devices/pcnet.h"
+#include "vdev/bus.h"
+#include "vdev/memory.h"
+
+namespace sedspec::guest {
+
+class PcnetDriver {
+ public:
+  struct Config {
+    uint16_t tx_ring_len = 16;
+    uint16_t rx_ring_len = 16;
+    bool loopback = false;
+    bool append_fcs = false;  // CSR15.DXMTFCS clear when true
+  };
+
+  PcnetDriver(sedspec::IoBus* bus, sedspec::GuestMemory* mem)
+      : bus_(bus), mem_(mem) {}
+
+  void wcsr(uint16_t n, uint16_t v);
+  [[nodiscard]] uint16_t rcsr(uint16_t n);
+  void soft_reset();
+
+  /// Full bring-up: reset, init block, ring programming, INIT|STRT.
+  void setup(const Config& config);
+
+  /// Posts (or reposts) every RX descriptor with a fresh guest buffer.
+  void post_rx_buffers();
+  /// Marks every RX descriptor guest-owned (device cannot deliver).
+  void revoke_rx_buffers();
+
+  /// Queues `frame` across `chunks` chained TX descriptors and rings TDMD.
+  void send(std::span<const uint8_t> frame, int chunks = 1);
+
+  /// Reaps the next delivered RX frame, if any, reposting its buffer.
+  std::optional<std::vector<uint8_t>> poll_rx();
+
+  /// Acknowledges TINT/RINT/IDON/MISS.
+  void ack_irq();
+
+  /// Writes a CSR outside the trained set (FP source).
+  void write_rare_csr();
+
+  [[nodiscard]] uint64_t io_count() const { return io_count_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  static constexpr uint64_t kInitBlock = 0x1000;
+  static constexpr uint64_t kTxRing = 0x2000;
+  static constexpr uint64_t kRxRing = 0x4000;
+  static constexpr uint64_t kTxBuf = 0x10000;
+  static constexpr uint64_t kRxBuf = 0x40000;
+  static constexpr uint32_t kRxBufLen = 4200;
+
+  [[nodiscard]] uint64_t tx_desc(uint16_t idx) const {
+    return kTxRing + devices::PcnetDevice::kDescSize * idx;
+  }
+  [[nodiscard]] uint64_t rx_desc(uint16_t idx) const {
+    return kRxRing + devices::PcnetDevice::kDescSize * idx;
+  }
+
+  sedspec::IoBus* bus_;
+  sedspec::GuestMemory* mem_;
+  Config config_;
+  uint16_t tx_idx_ = 0;
+  uint16_t rx_idx_ = 0;
+  uint64_t io_count_ = 0;
+};
+
+}  // namespace sedspec::guest

@@ -1,0 +1,183 @@
+#include "guest/qtest.h"
+
+#include <charconv>
+#include <optional>
+#include <sstream>
+
+namespace sedspec::guest {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') {
+      break;  // comment to end of line
+    }
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::optional<uint64_t> parse_number(const std::string& token) {
+  int base = 10;
+  size_t offset = 0;
+  if (token.size() > 2 && token[0] == '0' &&
+      (token[1] == 'x' || token[1] == 'X')) {
+    base = 16;
+    offset = 2;
+  }
+  uint64_t value = 0;
+  const char* first = token.data() + offset;
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, base);
+  if (ec != std::errc() || ptr != last || first == last) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::vector<uint8_t>> parse_hex_bytes(const std::string& token) {
+  if (token.size() % 2 != 0) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> out;
+  out.reserve(token.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < token.size(); i += 2) {
+    const int hi = nibble(token[i]);
+    const int lo = nibble(token[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return std::nullopt;
+    }
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+QtestRunner::Result QtestRunner::run(std::string_view script) {
+  Result result;
+  std::optional<uint64_t> last_in;
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= script.size()) {
+    const size_t eol = script.find('\n', pos);
+    const std::string_view line =
+        script.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                         : eol - pos);
+    pos = eol == std::string_view::npos ? script.size() + 1 : eol + 1;
+    ++line_no;
+
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& op = tokens[0];
+    auto need = [&](size_t n) {
+      if (tokens.size() != n + 1) {
+        throw QtestError(line_no, op + " expects " + std::to_string(n) +
+                                      " operand(s)");
+      }
+    };
+    auto num = [&](size_t i) {
+      auto v = parse_number(tokens[i]);
+      if (!v.has_value()) {
+        throw QtestError(line_no, "bad number: " + tokens[i]);
+      }
+      return *v;
+    };
+
+    auto io_write = [&](IoSpace space, uint8_t size) {
+      need(2);
+      bus_->write(space, num(1), size, num(2));
+      ++result.commands;
+    };
+    auto io_read = [&](IoSpace space, uint8_t size) {
+      need(1);
+      last_in = bus_->read(space, num(1), size);
+      result.in_values.push_back(*last_in);
+      ++result.commands;
+    };
+
+    if (op == "outb") {
+      io_write(IoSpace::kPio, 1);
+    } else if (op == "outw") {
+      io_write(IoSpace::kPio, 2);
+    } else if (op == "outl") {
+      io_write(IoSpace::kPio, 4);
+    } else if (op == "inb") {
+      io_read(IoSpace::kPio, 1);
+    } else if (op == "inw") {
+      io_read(IoSpace::kPio, 2);
+    } else if (op == "inl") {
+      io_read(IoSpace::kPio, 4);
+    } else if (op == "writeb") {
+      io_write(IoSpace::kMmio, 1);
+    } else if (op == "writew") {
+      io_write(IoSpace::kMmio, 2);
+    } else if (op == "writel") {
+      io_write(IoSpace::kMmio, 4);
+    } else if (op == "writeq") {
+      io_write(IoSpace::kMmio, 8);
+    } else if (op == "readb") {
+      io_read(IoSpace::kMmio, 1);
+    } else if (op == "readw") {
+      io_read(IoSpace::kMmio, 2);
+    } else if (op == "readl") {
+      io_read(IoSpace::kMmio, 4);
+    } else if (op == "readq") {
+      io_read(IoSpace::kMmio, 8);
+    } else if (op == "memwrite") {
+      need(2);
+      if (mem_ == nullptr) {
+        throw QtestError(line_no, "no guest memory attached");
+      }
+      auto bytes = parse_hex_bytes(tokens[2]);
+      if (!bytes.has_value()) {
+        throw QtestError(line_no, "bad hex byte string");
+      }
+      mem_->write(num(1), *bytes);
+      ++result.commands;
+    } else if (op == "memset") {
+      need(3);
+      if (mem_ == nullptr) {
+        throw QtestError(line_no, "no guest memory attached");
+      }
+      mem_->fill(num(1), num(2), static_cast<uint8_t>(num(3)));
+      ++result.commands;
+    } else if (op == "expect") {
+      need(1);
+      if (!last_in.has_value()) {
+        throw QtestError(line_no, "expect before any in/read");
+      }
+      if (*last_in != num(1)) {
+        std::ostringstream msg;
+        msg << "expected 0x" << std::hex << num(1) << ", got 0x" << *last_in;
+        throw QtestError(line_no, msg.str());
+      }
+      ++result.commands;
+    } else if (op == "clock_step") {
+      need(1);
+      if (clock_ == nullptr) {
+        throw QtestError(line_no, "no virtual clock attached");
+      }
+      clock_->advance(num(1));
+      ++result.commands;
+    } else {
+      throw QtestError(line_no, "unknown command: " + op);
+    }
+  }
+  return result;
+}
+
+}  // namespace sedspec::guest

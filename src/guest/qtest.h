@@ -1,0 +1,69 @@
+// QTest-style scripted I/O harness.
+//
+// The paper sources training samples "from the web and QTest" (§IV-C) —
+// QEMU's text-protocol device-testing framework. This is a compatible
+// in-simulator runner: scripts are line-oriented commands that drive the
+// I/O bus, guest memory, and the virtual clock, so training corpora and
+// exploit PoCs can live in plain text files (see examples/scripts/).
+//
+//   # comment
+//   outb <port> <val>      outw ... outl ...     PMIO writes
+//   inb <port>             inw ... inl ...       PMIO reads
+//   writeb <addr> <val>    writew/writel/writeq  MMIO writes
+//   readb <addr>           readw/readl/readq     MMIO reads
+//   memwrite <addr> <hexbytes>                   guest memory
+//   memset <addr> <len> <byte>                   guest memory
+//   expect <val>           last in*/read* value must equal <val>
+//   clock_step <usecs>     advance the virtual clock
+//
+// Numbers are decimal or 0x-hex. Parse errors and failed expectations throw
+// QtestError with the offending line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/vclock.h"
+#include "vdev/bus.h"
+#include "vdev/memory.h"
+
+namespace sedspec::guest {
+
+class QtestError : public std::runtime_error {
+ public:
+  QtestError(size_t line, const std::string& message)
+      : std::runtime_error("qtest line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  [[nodiscard]] size_t line() const { return line_; }
+
+ private:
+  size_t line_;
+};
+
+class QtestRunner {
+ public:
+  struct Result {
+    uint64_t commands = 0;
+    /// Every value produced by an in*/read* command, in order.
+    std::vector<uint64_t> in_values;
+  };
+
+  /// `mem` and `clock` may be null if the script uses no memory / clock
+  /// commands.
+  explicit QtestRunner(sedspec::IoBus* bus,
+                       sedspec::GuestMemory* mem = nullptr,
+                       sedspec::VirtualClock* clock = nullptr)
+      : bus_(bus), mem_(mem), clock_(clock) {}
+
+  Result run(std::string_view script);
+
+ private:
+  sedspec::IoBus* bus_;
+  sedspec::GuestMemory* mem_;
+  sedspec::VirtualClock* clock_;
+};
+
+}  // namespace sedspec::guest

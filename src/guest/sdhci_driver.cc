@@ -1,0 +1,148 @@
+#include "guest/sdhci_driver.h"
+
+#include "common/assert.h"
+
+namespace sedspec::guest {
+
+namespace {
+using sedspec::devices::SdhciDevice;
+constexpr uint64_t kBase = SdhciDevice::kBaseAddr;
+}  // namespace
+
+void SdhciDriver::w16(uint64_t reg, uint16_t v) {
+  ++io_count_;
+  bus_->write(IoSpace::kMmio, kBase + reg, 2, v);
+}
+void SdhciDriver::w32(uint64_t reg, uint32_t v) {
+  ++io_count_;
+  bus_->write(IoSpace::kMmio, kBase + reg, 4, v);
+}
+void SdhciDriver::w8(uint64_t reg, uint8_t v) {
+  ++io_count_;
+  bus_->write(IoSpace::kMmio, kBase + reg, 1, v);
+}
+uint32_t SdhciDriver::r32(uint64_t reg) {
+  ++io_count_;
+  return static_cast<uint32_t>(bus_->read(IoSpace::kMmio, kBase + reg, 4));
+}
+uint16_t SdhciDriver::r16(uint64_t reg) {
+  ++io_count_;
+  return static_cast<uint16_t>(bus_->read(IoSpace::kMmio, kBase + reg, 2));
+}
+uint8_t SdhciDriver::r8(uint64_t reg) {
+  ++io_count_;
+  return static_cast<uint8_t>(bus_->read(IoSpace::kMmio, kBase + reg, 1));
+}
+
+void SdhciDriver::command(uint8_t index, uint32_t arg) {
+  w32(SdhciDevice::kRegArg, arg);
+  w16(SdhciDevice::kRegCmd, static_cast<uint16_t>(index) << 8);
+  (void)r32(SdhciDevice::kRegResp);
+  ack_interrupts();
+}
+
+void SdhciDriver::ack_interrupts() {
+  const uint16_t sts = r16(SdhciDevice::kRegNorIntSts);
+  if (sts != 0) {
+    w16(SdhciDevice::kRegNorIntSts, sts);
+  }
+}
+
+void SdhciDriver::init_card() {
+  command(SdhciDevice::kCmdGoIdle, 0);
+  command(SdhciDevice::kCmdAllSendCid, 0);
+  command(SdhciDevice::kCmdSendRelAddr, 0);
+  command(SdhciDevice::kCmdSelect, 0x1234 << 16);
+  w16(SdhciDevice::kRegBlkSize, SdhciDevice::kBlockSize);
+  command(SdhciDevice::kCmdSetBlockLen, SdhciDevice::kBlockSize);
+}
+
+void SdhciDriver::read_block(uint32_t block, std::span<uint8_t> out) {
+  SEDSPEC_REQUIRE(out.size() == SdhciDevice::kBlockSize);
+  w16(SdhciDevice::kRegBlkCnt, 1);
+  w32(SdhciDevice::kRegArg, block);
+  w16(SdhciDevice::kRegCmd,
+      static_cast<uint16_t>(SdhciDevice::kCmdReadSingle) << 8);
+  for (auto& byte : out) {
+    byte = r8(SdhciDevice::kRegBData);
+  }
+  ack_interrupts();
+}
+
+void SdhciDriver::write_block(uint32_t block, std::span<const uint8_t> data) {
+  SEDSPEC_REQUIRE(data.size() == SdhciDevice::kBlockSize);
+  w16(SdhciDevice::kRegBlkCnt, 1);
+  w32(SdhciDevice::kRegArg, block);
+  w16(SdhciDevice::kRegCmd,
+      static_cast<uint16_t>(SdhciDevice::kCmdWriteSingle) << 8);
+  for (uint8_t byte : data) {
+    w8(SdhciDevice::kRegBData, byte);
+  }
+  ack_interrupts();
+}
+
+void SdhciDriver::read_blocks(uint32_t block, uint16_t count,
+                              std::span<uint8_t> out) {
+  SEDSPEC_REQUIRE(out.size() == size_t{count} * SdhciDevice::kBlockSize);
+  w16(SdhciDevice::kRegBlkCnt, count);
+  w32(SdhciDevice::kRegArg, block);
+  w16(SdhciDevice::kRegCmd,
+      static_cast<uint16_t>(SdhciDevice::kCmdReadMulti) << 8);
+  for (auto& byte : out) {
+    byte = r8(SdhciDevice::kRegBData);
+  }
+  ack_interrupts();
+}
+
+void SdhciDriver::write_blocks(uint32_t block, uint16_t count,
+                               std::span<const uint8_t> data) {
+  SEDSPEC_REQUIRE(data.size() == size_t{count} * SdhciDevice::kBlockSize);
+  w16(SdhciDevice::kRegBlkCnt, count);
+  w32(SdhciDevice::kRegArg, block);
+  w16(SdhciDevice::kRegCmd,
+      static_cast<uint16_t>(SdhciDevice::kCmdWriteMulti) << 8);
+  for (uint8_t byte : data) {
+    w8(SdhciDevice::kRegBData, byte);
+  }
+  ack_interrupts();
+}
+
+void SdhciDriver::write_block_with_reprogram(uint32_t block,
+                                             std::span<const uint8_t> data) {
+  SEDSPEC_REQUIRE(data.size() == SdhciDevice::kBlockSize);
+  w16(SdhciDevice::kRegBlkCnt, 1);
+  w32(SdhciDevice::kRegArg, block);
+  w16(SdhciDevice::kRegCmd,
+      static_cast<uint16_t>(SdhciDevice::kCmdWriteSingle) << 8);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i == data.size() / 2) {
+      w16(SdhciDevice::kRegBlkSize, SdhciDevice::kBlockSize);  // same value
+    }
+    w8(SdhciDevice::kRegBData, data[i]);
+  }
+  ack_interrupts();
+}
+
+void SdhciDriver::read_block_with_reprogram(uint32_t block,
+                                            std::span<uint8_t> out) {
+  SEDSPEC_REQUIRE(out.size() == SdhciDevice::kBlockSize);
+  w16(SdhciDevice::kRegBlkCnt, 1);
+  w32(SdhciDevice::kRegArg, block);
+  w16(SdhciDevice::kRegCmd,
+      static_cast<uint16_t>(SdhciDevice::kCmdReadSingle) << 8);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i == out.size() / 2) {
+      w16(SdhciDevice::kRegBlkSize, SdhciDevice::kBlockSize);
+    }
+    out[i] = r8(SdhciDevice::kRegBData);
+  }
+  ack_interrupts();
+}
+
+void SdhciDriver::switch_function() {
+  command(SdhciDevice::kCmdSwitch, 0x00fffff1);
+}
+
+void SdhciDriver::gen_cmd() { command(SdhciDevice::kCmdGenCmd, 0); }
+
+}  // namespace sedspec::guest

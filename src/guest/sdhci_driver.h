@@ -1,0 +1,57 @@
+// Guest-side SD host controller driver model.
+//
+// Issues the canonical SD init sequence and PIO block transfers, including
+// the "defensive reprogram" quirk some drivers exhibit (rewriting BLKSIZE
+// with the same value mid-transfer) — harmless on real hardware and part of
+// the benign training mix so the corresponding edge is in the spec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "devices/sdhci.h"
+#include "vdev/bus.h"
+
+namespace sedspec::guest {
+
+class SdhciDriver {
+ public:
+  explicit SdhciDriver(sedspec::IoBus* bus) : bus_(bus) {}
+
+  void w16(uint64_t reg, uint16_t v);
+  void w32(uint64_t reg, uint32_t v);
+  void w8(uint64_t reg, uint8_t v);
+  [[nodiscard]] uint32_t r32(uint64_t reg);
+  [[nodiscard]] uint16_t r16(uint64_t reg);
+  [[nodiscard]] uint8_t r8(uint64_t reg);
+
+  /// CMD0/2/3/7 init handshake + SET_BLOCKLEN(512).
+  void init_card();
+
+  void command(uint8_t index, uint32_t arg);
+  void ack_interrupts();
+
+  void read_block(uint32_t block, std::span<uint8_t> out);
+  void write_block(uint32_t block, std::span<const uint8_t> data);
+  void read_blocks(uint32_t block, uint16_t count, std::span<uint8_t> out);
+  void write_blocks(uint32_t block, uint16_t count,
+                    std::span<const uint8_t> data);
+
+  /// Same as write_block but rewrites BLKSIZE (same value) mid-transfer —
+  /// the benign driver quirk that trains the mid-transfer BLKSIZE edge.
+  void write_block_with_reprogram(uint32_t block,
+                                  std::span<const uint8_t> data);
+  void read_block_with_reprogram(uint32_t block, std::span<uint8_t> out);
+
+  // Rare-but-legal commands (FP source).
+  void switch_function();
+  void gen_cmd();
+
+  [[nodiscard]] uint64_t io_count() const { return io_count_; }
+
+ private:
+  sedspec::IoBus* bus_;
+  uint64_t io_count_ = 0;
+};
+
+}  // namespace sedspec::guest

@@ -1,0 +1,654 @@
+#include "guest/workload.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/assert.h"
+#include "devices/ehci.h"
+#include "devices/esp_scsi.h"
+#include "devices/fdc.h"
+#include "devices/pcnet.h"
+#include "devices/sdhci.h"
+#include "guest/ehci_driver.h"
+#include "guest/esp_driver.h"
+#include "guest/fdc_driver.h"
+#include "guest/pcnet_driver.h"
+#include "guest/sdhci_driver.h"
+
+namespace sedspec::guest {
+
+std::string interaction_mode_name(InteractionMode mode) {
+  switch (mode) {
+    case InteractionMode::kSequential:
+      return "sequential";
+    case InteractionMode::kRandom:
+      return "random";
+    case InteractionMode::kRandomWithDelay:
+      return "random+delay";
+  }
+  return "?";
+}
+
+void DeviceWorkload::test_case(InteractionMode mode, Rng& rng,
+                               VirtualClock& clock, bool include_rare) {
+  const auto [ops_lo, ops_hi] = ops_per_case();
+  const auto ops = static_cast<int>(
+      rng.range(static_cast<uint64_t>(ops_lo), static_cast<uint64_t>(ops_hi)));
+  const int rare_at = include_rare ? static_cast<int>(rng.below(ops)) : -1;
+  for (int i = 0; i < ops; ++i) {
+    if (i == rare_at) {
+      rare_operation(rng);
+    }
+    common_operation(mode, rng);
+    if (mode == InteractionMode::kRandomWithDelay) {
+      clock.advance(rng.range(1'000, 20'000));  // 1-20 ms between ops
+    }
+  }
+  // Per-case envelope (device setup, guest-side processing, idle gaps).
+  const auto [env_lo, env_hi] = case_envelope_seconds();
+  clock.advance_seconds(static_cast<double>(
+      rng.range(static_cast<uint64_t>(env_lo), static_cast<uint64_t>(env_hi))));
+}
+
+void DeviceWorkload::fuzz_case(Rng& rng) {
+  const auto ops = static_cast<int>(
+      rng.range(4, static_cast<uint64_t>(std::max(6, ops_per_case().second / 8))));
+  for (int i = 0; i < ops; ++i) {
+    if (rng.chance(0.25)) {
+      rare_operation(rng);
+    } else {
+      common_operation(InteractionMode::kRandom, rng);
+    }
+  }
+}
+
+void DeviceWorkload::bulk_write(uint32_t /*block*/,
+                                std::span<const uint8_t> /*data*/) {
+  SEDSPEC_REQUIRE_MSG(false, "bulk I/O on a non-storage workload");
+}
+
+void DeviceWorkload::bulk_read(uint32_t /*block*/,
+                               std::span<uint8_t> /*data*/) {
+  SEDSPEC_REQUIRE_MSG(false, "bulk I/O on a non-storage workload");
+}
+
+void DeviceWorkload::build_and_deploy(checker::CheckerConfig config) {
+  cfg_ = pipeline::build_spec(device(), [this] { training(); });
+  checker_ = pipeline::deploy(cfg_, device(), bus(), config);
+}
+
+namespace {
+
+std::vector<uint8_t> pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(seed * 31 + i * 7);
+  }
+  return out;
+}
+
+// --- FDC ---------------------------------------------------------------
+
+class FdcWorkload final : public DeviceWorkload {
+ public:
+  FdcWorkload() : driver_(&bus_) {
+    bus_.map(IoSpace::kPio, devices::FdcDevice::kBasePort,
+             devices::FdcDevice::kPortSpan, &device_);
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "fdc";
+    return kName;
+  }
+  Device& device() override { return device_; }
+  IoBus& bus() override { return bus_; }
+
+  void training() override {
+    FdcDriver drv(&bus_);
+    drv.reset();
+    drv.specify();
+    drv.configure();
+    (void)drv.version();
+    drv.recalibrate();
+    (void)drv.sense_drive_status();
+    std::vector<uint8_t> sector(devices::FdcDevice::kSectorSize);
+    for (uint8_t track : {0, 1, 5, 20}) {
+      drv.seek(track);
+      for (uint8_t sec : {1, 2, 9}) {
+        for (size_t i = 0; i < sector.size(); ++i) {
+          sector[i] = static_cast<uint8_t>(track + sec + i);
+        }
+        drv.write_sector(track, 0, sec, sector);
+        std::vector<uint8_t> back(sector.size());
+        drv.read_sector(track, 0, sec, back);
+      }
+      drv.write_sector(track, 1, 1, sector);
+      std::vector<uint8_t> back(sector.size());
+      drv.read_sector(track, 1, 1, back);
+    }
+  }
+
+  void rare_operation(Rng& rng) override {
+    switch (rng.below(3)) {
+      case 0:
+        (void)driver_.read_id();
+        break;
+      case 1:
+        (void)driver_.dumpreg();
+        break;
+      default:
+        driver_.perpendicular();
+        break;
+    }
+  }
+
+  void common_operation(InteractionMode mode, Rng& rng) override {
+    uint8_t track;
+    uint8_t head;
+    uint8_t sector;
+    if (mode == InteractionMode::kSequential) {
+      track = static_cast<uint8_t>(cursor_ / 72);
+      head = static_cast<uint8_t>((cursor_ / 36) % 2);
+      sector = static_cast<uint8_t>(cursor_ % 36 + 1);
+      cursor_ = (cursor_ + 1) % (80 * 72);
+    } else {
+      track = static_cast<uint8_t>(rng.below(80));
+      head = static_cast<uint8_t>(rng.below(2));
+      sector = static_cast<uint8_t>(rng.range(1, 36));
+    }
+    switch (rng.below(5)) {
+      case 0:
+        driver_.seek(track);
+        break;
+      case 1:
+        (void)driver_.sense_drive_status();
+        break;
+      default: {
+        std::vector<uint8_t> data = pattern(512, rng.next_u64());
+        if (rng.chance(0.5)) {
+          driver_.write_sector(track, head, sector, data);
+        } else {
+          driver_.read_sector(track, head, sector, data);
+        }
+        break;
+      }
+    }
+  }
+
+  std::pair<int, int> ops_per_case() const override { return {4, 16}; }
+  bool is_storage() const override { return true; }
+  uint64_t storage_capacity() const override {
+    return devices::FdcDevice::kDiskSize;
+  }
+  void bulk_write(uint32_t block, std::span<const uint8_t> data) override {
+    for (size_t off = 0; off < data.size(); off += 512, ++block) {
+      const auto [t, h, s] = chs(block);
+      driver_.write_sector(t, h, s, data.subspan(off, 512));
+    }
+  }
+  void bulk_read(uint32_t block, std::span<uint8_t> data) override {
+    for (size_t off = 0; off < data.size(); off += 512, ++block) {
+      const auto [t, h, s] = chs(block);
+      driver_.read_sector(t, h, s, data.subspan(off, 512));
+    }
+  }
+
+ private:
+  static std::tuple<uint8_t, uint8_t, uint8_t> chs(uint32_t block) {
+    block %= 80 * 72;
+    return {static_cast<uint8_t>(block / 72),
+            static_cast<uint8_t>((block / 36) % 2),
+            static_cast<uint8_t>(block % 36 + 1)};
+  }
+
+  devices::FdcDevice device_;
+  IoBus bus_;
+  FdcDriver driver_;
+  uint32_t cursor_ = 0;
+};
+
+// --- SDHCI ---------------------------------------------------------------
+
+class SdhciWorkload final : public DeviceWorkload {
+ public:
+  SdhciWorkload() : driver_(&bus_) {
+    bus_.map(IoSpace::kMmio, devices::SdhciDevice::kBaseAddr,
+             devices::SdhciDevice::kMmioSpan, &device_);
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "sdhci";
+    return kName;
+  }
+  Device& device() override { return device_; }
+  IoBus& bus() override { return bus_; }
+
+  void training() override {
+    SdhciDriver drv(&bus_);
+    drv.init_card();
+    std::vector<uint8_t> block(512, 0x42);
+    for (uint32_t b = 0; b < 4; ++b) {
+      drv.write_block(b, block);
+      std::vector<uint8_t> back(512);
+      drv.read_block(b, back);
+    }
+    std::vector<uint8_t> multi(4 * 512, 0x24);
+    drv.write_blocks(16, 4, multi);
+    std::vector<uint8_t> back(multi.size());
+    drv.read_blocks(16, 4, back);
+    drv.write_block_with_reprogram(2, block);
+    std::vector<uint8_t> b2(512);
+    drv.read_block_with_reprogram(2, b2);
+    drv.command(devices::SdhciDevice::kCmdSendStatus, 0);
+    drv.command(devices::SdhciDevice::kCmdStop, 0);
+  }
+
+  void rare_operation(Rng& rng) override {
+    if (rng.chance(0.5)) {
+      driver_.switch_function();
+    } else {
+      driver_.gen_cmd();
+    }
+  }
+
+  void common_operation(InteractionMode mode, Rng& rng) override {
+    uint32_t block;
+    if (mode == InteractionMode::kSequential) {
+      block = cursor_;
+      cursor_ = (cursor_ + 1) % 1024;
+    } else {
+      block = static_cast<uint32_t>(rng.below(1024));
+    }
+    const auto count = static_cast<uint16_t>(rng.range(1, 3));
+    std::vector<uint8_t> data =
+        pattern(size_t{count} * 512, rng.next_u64());
+    switch (rng.below(6)) {
+      case 0:
+        driver_.command(devices::SdhciDevice::kCmdSendStatus, 0);
+        break;
+      case 1:
+        driver_.write_block_with_reprogram(block, {data.data(), 512});
+        break;
+      case 2:
+        driver_.write_blocks(block, count, data);
+        break;
+      case 3:
+        driver_.read_blocks(block, count, data);
+        break;
+      case 4:
+        driver_.write_block(block, {data.data(), 512});
+        break;
+      default:
+        driver_.read_block(block, {data.data(), 512});
+        break;
+    }
+  }
+
+  std::pair<int, int> ops_per_case() const override { return {4, 16}; }
+  std::pair<int, int> case_envelope_seconds() const override {
+    return {8, 20};
+  }
+  bool is_storage() const override { return true; }
+  uint64_t storage_capacity() const override {
+    return devices::SdhciDevice::kCardSize;
+  }
+  void bulk_write(uint32_t block, std::span<const uint8_t> data) override {
+    // Multi-block transfers in bursts of up to 8 blocks.
+    for (size_t off = 0; off < data.size();) {
+      const auto blocks = static_cast<uint16_t>(
+          std::min<size_t>(8, (data.size() - off) / 512));
+      driver_.write_blocks(block, blocks, data.subspan(off, blocks * 512u));
+      off += blocks * 512u;
+      block += blocks;
+    }
+  }
+  void bulk_read(uint32_t block, std::span<uint8_t> data) override {
+    for (size_t off = 0; off < data.size();) {
+      const auto blocks = static_cast<uint16_t>(
+          std::min<size_t>(8, (data.size() - off) / 512));
+      driver_.read_blocks(block, blocks, data.subspan(off, blocks * 512u));
+      off += blocks * 512u;
+      block += blocks;
+    }
+  }
+
+ private:
+  devices::SdhciDevice device_;
+  IoBus bus_;
+  SdhciDriver driver_;
+  uint32_t cursor_ = 0;
+};
+
+// --- PCNet ---------------------------------------------------------------
+
+class PcnetWorkload final : public DeviceWorkload {
+ public:
+  PcnetWorkload() : mem_(1 << 20), device_(&mem_), driver_(&bus_, &mem_) {
+    bus_.map(IoSpace::kPio, devices::PcnetDevice::kBasePort,
+             devices::PcnetDevice::kPortSpan, &device_);
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "pcnet";
+    return kName;
+  }
+  Device& device() override { return device_; }
+  IoBus& bus() override { return bus_; }
+
+  void training() override {
+    PcnetDriver drv(&bus_, &mem_);
+    drv.setup({.tx_ring_len = 16,
+               .rx_ring_len = 16,
+               .loopback = true,
+               .append_fcs = true});
+    for (int chunks : {1, 2, 3}) {
+      for (size_t size : {60u, 300u, 1514u}) {
+        drv.send(pattern(size, size + chunks), chunks);
+        (void)drv.poll_rx();
+        drv.ack_irq();
+      }
+    }
+    drv.revoke_rx_buffers();
+    drv.send(pattern(128, 9), 1);
+    drv.ack_irq();
+    drv.post_rx_buffers();
+    drv.setup({.tx_ring_len = 4,
+               .rx_ring_len = 4,
+               .loopback = true,
+               .append_fcs = false});
+    for (int i = 0; i < 10; ++i) {
+      drv.send(pattern(200 + 10 * static_cast<size_t>(i), i), 1);
+      (void)drv.poll_rx();
+      drv.ack_irq();
+    }
+    drv.setup({.tx_ring_len = 16,
+               .rx_ring_len = 16,
+               .loopback = false,
+               .append_fcs = false});
+    for (int i = 0; i < 6; ++i) {
+      drv.send(pattern(400 + 100 * static_cast<size_t>(i), i), (i % 3) + 1);
+      drv.ack_irq();
+    }
+    for (int i = 0; i < 6; ++i) {
+      (void)device_.receive_frame(pattern(256 + 64 * static_cast<size_t>(i), i));
+      (void)drv.poll_rx();
+      drv.ack_irq();
+    }
+    (void)drv.rcsr(4);
+    (void)drv.rcsr(76);
+    loopback_ = false;
+  }
+
+  std::pair<int, int> case_envelope_seconds() const override {
+    return {10, 25};
+  }
+
+  void rare_operation(Rng& /*rng*/) override { driver_.write_rare_csr(); }
+
+  void common_operation(InteractionMode mode, Rng& rng) override {
+    const size_t size =
+        mode == InteractionMode::kSequential ? 512 : rng.range(60, 1514);
+    const int chunks = static_cast<int>(rng.range(1, 3));
+    switch (rng.below(4)) {
+      case 0: {  // loopback round trip
+        ensure_mode(true);
+        driver_.send(pattern(size, rng.next_u64()), chunks);
+        (void)driver_.poll_rx();
+        driver_.ack_irq();
+        break;
+      }
+      case 1: {  // wire transmit
+        ensure_mode(false);
+        driver_.send(pattern(size, rng.next_u64()), chunks);
+        driver_.ack_irq();
+        device_.clear_tx_log();
+        break;
+      }
+      case 2: {  // wire receive
+        ensure_mode(false);
+        (void)device_.receive_frame(pattern(size, rng.next_u64()));
+        (void)driver_.poll_rx();
+        driver_.ack_irq();
+        break;
+      }
+      default:
+        (void)driver_.rcsr(0);
+        (void)driver_.rcsr(4);
+        break;
+    }
+  }
+
+ private:
+  void ensure_mode(bool loopback) {
+    if (configured_ && loopback_ == loopback) {
+      return;
+    }
+    driver_.setup({.tx_ring_len = 16,
+                   .rx_ring_len = 16,
+                   .loopback = loopback,
+                   .append_fcs = loopback});
+    configured_ = true;
+    loopback_ = loopback;
+  }
+
+  GuestMemory mem_;
+  devices::PcnetDevice device_;
+  IoBus bus_;
+  PcnetDriver driver_;
+  bool configured_ = false;
+  bool loopback_ = false;
+};
+
+// --- USB EHCI ---------------------------------------------------------------
+
+class EhciWorkload final : public DeviceWorkload {
+ public:
+  EhciWorkload() : mem_(1 << 20), device_(&mem_), driver_(&bus_, &mem_) {
+    bus_.map(IoSpace::kMmio, devices::EhciDevice::kBaseAddr,
+             devices::EhciDevice::kMmioSpan, &device_);
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "usb-ehci";
+    return kName;
+  }
+  Device& device() override { return device_; }
+  IoBus& bus() override { return bus_; }
+
+  void training() override {
+    EhciDriver drv(&bus_, &mem_);
+    drv.start_controller();
+    drv.interrupt_poll();
+    std::vector<uint8_t> block(512, 0x66);
+    for (uint16_t b = 0; b < 4; ++b) {
+      drv.write_block(b, block);
+      std::vector<uint8_t> back(512);
+      drv.read_block(b, back);
+    }
+    std::vector<uint8_t> big(2048, 0x5b);
+    drv.write_block(8, big, 512);
+    std::vector<uint8_t> big_back(2048);
+    drv.read_block(8, big_back, 256);
+    std::vector<uint8_t> small(128, 0x21);
+    drv.write_block_short(12, small);
+    std::vector<uint8_t> small_back(128);
+    drv.read_block_short(12, small_back);
+    drv.interrupt_poll();
+  }
+
+  void rare_operation(Rng& /*rng*/) override {
+    // A port-reset sequence: legal guest behavior the training mix lacks.
+    driver_.w32(devices::EhciDevice::kRegPortSc, 0x1105);
+  }
+
+  void common_operation(InteractionMode mode, Rng& rng) override {
+    const uint16_t block = static_cast<uint16_t>(
+        mode == InteractionMode::kSequential ? (cursor_++ % 1024)
+                                             : rng.below(1024));
+    const size_t size = 512u << rng.below(3);  // 512 / 1024 / 2048
+    const uint32_t chunk = 256u << rng.below(3);
+    std::vector<uint8_t> data = pattern(size, rng.next_u64());
+    switch (rng.below(5)) {
+      case 0:
+        driver_.interrupt_poll();
+        break;
+      case 1:
+        driver_.write_block_short(block, {data.data(), 128});
+        break;
+      case 2:
+        driver_.read_block_short(block, {data.data(), 128});
+        break;
+      case 3:
+        driver_.write_block(block, data, chunk);
+        break;
+      default:
+        driver_.read_block(block, data, chunk);
+        break;
+    }
+  }
+
+  bool is_storage() const override { return true; }
+  uint64_t storage_capacity() const override {
+    return devices::EhciDevice::kStorageSize;
+  }
+  void bulk_write(uint32_t block, std::span<const uint8_t> data) override {
+    for (size_t off = 0; off < data.size();) {
+      const size_t n = std::min<size_t>(2048, data.size() - off);
+      driver_.write_block(static_cast<uint16_t>(block), data.subspan(off, n),
+                          512);
+      off += n;
+      block += static_cast<uint32_t>(n / 512);
+    }
+  }
+  void bulk_read(uint32_t block, std::span<uint8_t> data) override {
+    for (size_t off = 0; off < data.size();) {
+      const size_t n = std::min<size_t>(2048, data.size() - off);
+      driver_.read_block(static_cast<uint16_t>(block), data.subspan(off, n),
+                         512);
+      off += n;
+      block += static_cast<uint32_t>(n / 512);
+    }
+  }
+
+ private:
+  GuestMemory mem_;
+  devices::EhciDevice device_;
+  IoBus bus_;
+  EhciDriver driver_;
+  uint32_t cursor_ = 0;
+};
+
+// --- ESP SCSI ---------------------------------------------------------------
+
+class EspWorkload final : public DeviceWorkload {
+ public:
+  EspWorkload() : mem_(1 << 20), device_(&mem_), driver_(&bus_, &mem_) {
+    bus_.map(IoSpace::kPio, devices::EspScsiDevice::kBasePort,
+             devices::EspScsiDevice::kPortSpan, &device_);
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "scsi-esp";
+    return kName;
+  }
+  Device& device() override { return device_; }
+  IoBus& bus() override { return bus_; }
+
+  void training() override {
+    EspDriver drv(&bus_, &mem_);
+    drv.bus_reset();
+    drv.test_unit_ready(false);
+    drv.test_unit_ready(true);
+    (void)drv.inquiry(false);
+    (void)drv.inquiry(true);
+    (void)drv.request_sense();
+    std::vector<uint8_t> block(512, 0x2a);
+    for (uint32_t lba = 0; lba < 4; ++lba) {
+      drv.write_blocks(lba, 1, block);
+      std::vector<uint8_t> back(512);
+      drv.read_blocks(lba, 1, back);
+    }
+    std::vector<uint8_t> multi(4 * 512, 0x3c);
+    drv.write_blocks(8, 4, multi);
+    std::vector<uint8_t> back(multi.size());
+    drv.read_blocks(8, 4, back);
+  }
+
+  void rare_operation(Rng& /*rng*/) override { driver_.set_atn(); }
+
+  void common_operation(InteractionMode mode, Rng& rng) override {
+    const uint32_t lba = static_cast<uint32_t>(
+        mode == InteractionMode::kSequential ? (cursor_++ % 2048)
+                                             : rng.below(2048));
+    const auto blocks = static_cast<uint8_t>(rng.range(1, 4));
+    std::vector<uint8_t> data =
+        pattern(size_t{blocks} * 512, rng.next_u64());
+    switch (rng.below(6)) {
+      case 0:
+        driver_.test_unit_ready(rng.chance(0.5));
+        break;
+      case 1:
+        (void)driver_.inquiry(rng.chance(0.5));
+        break;
+      case 2:
+        (void)driver_.request_sense();
+        break;
+      case 3:
+        driver_.write_blocks(lba, blocks, data);
+        break;
+      default:
+        driver_.read_blocks(lba, blocks, data);
+        break;
+    }
+  }
+
+  bool is_storage() const override { return true; }
+  uint64_t storage_capacity() const override {
+    return devices::EspScsiDevice::kDiskSize;
+  }
+  void bulk_write(uint32_t block, std::span<const uint8_t> data) override {
+    for (size_t off = 0; off < data.size();) {
+      const auto blocks = static_cast<uint8_t>(
+          std::min<size_t>(4, (data.size() - off) / 512));
+      driver_.write_blocks(block, blocks, data.subspan(off, blocks * 512u));
+      off += blocks * 512u;
+      block += blocks;
+    }
+  }
+  void bulk_read(uint32_t block, std::span<uint8_t> data) override {
+    for (size_t off = 0; off < data.size();) {
+      const auto blocks = static_cast<uint8_t>(
+          std::min<size_t>(4, (data.size() - off) / 512));
+      driver_.read_blocks(block, blocks, data.subspan(off, blocks * 512u));
+      off += blocks * 512u;
+      block += blocks;
+    }
+  }
+
+ private:
+  GuestMemory mem_;
+  devices::EspScsiDevice device_;
+  IoBus bus_;
+  EspDriver driver_;
+  uint32_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<DeviceWorkload> make_workload(const std::string& device_name) {
+  if (device_name == "fdc") return std::make_unique<FdcWorkload>();
+  if (device_name == "usb-ehci") return std::make_unique<EhciWorkload>();
+  if (device_name == "pcnet") return std::make_unique<PcnetWorkload>();
+  if (device_name == "sdhci") return std::make_unique<SdhciWorkload>();
+  if (device_name == "scsi-esp") return std::make_unique<EspWorkload>();
+  SEDSPEC_REQUIRE_MSG(false, "unknown device workload: " + device_name);
+  return nullptr;
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> kNames = {
+      "fdc", "usb-ehci", "pcnet", "sdhci", "scsi-esp"};
+  return kNames;
+}
+
+}  // namespace sedspec::guest

@@ -1,0 +1,110 @@
+// Uniform per-device workload harnesses.
+//
+// Each DeviceWorkload owns one emulated device (plus bus / guest memory /
+// driver model) and exposes the three behaviors the paper's evaluation
+// needs:
+//   - training()   — the benign training mix (phase 1 input). Deterministic
+//                    and comprehensive over the device's *common* operation
+//                    vocabulary; rare-but-legal operations are deliberately
+//                    excluded (they are the false-positive source).
+//   - test_case()  — one long-run interaction batch in a given mode
+//                    (sequential / random / random-with-delay, §VII-B1),
+//                    optionally containing a rare-but-legal operation.
+//                    Advances the virtual clock by a realistic duration.
+//   - fuzz_case()  — one benign fuzzing batch over the FULL legal
+//                    vocabulary (common + rare), used to approximate the
+//                    legitimate-behavior path set for the effective-
+//                    coverage metric (§VII-B1).
+//
+// build_and_deploy() runs the full SEDSpec pipeline on the device and
+// installs the checker as the bus proxy.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+#include "common/rng.h"
+#include "common/vclock.h"
+#include "sedspec/pipeline.h"
+#include "spec/es_cfg.h"
+#include "vdev/bus.h"
+#include "vdev/device.h"
+
+namespace sedspec::guest {
+
+enum class InteractionMode { kSequential, kRandom, kRandomWithDelay };
+
+[[nodiscard]] std::string interaction_mode_name(InteractionMode mode);
+
+class DeviceWorkload {
+ public:
+  virtual ~DeviceWorkload() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual Device& device() = 0;
+  [[nodiscard]] virtual IoBus& bus() = 0;
+
+  /// Benign training mix (no rare operations).
+  virtual void training() = 0;
+  /// One rare-but-legal operation (the FP source).
+  virtual void rare_operation(Rng& rng) = 0;
+  /// One common benign operation in the given mode.
+  virtual void common_operation(InteractionMode mode, Rng& rng) = 0;
+
+  /// Operations per test case. Byte-PIO devices (FDC, SDHCI) issue ~1000
+  /// register accesses per operation, so they use fewer operations per case
+  /// — the paper's "thousands to tens of thousands of I/O sequences" per
+  /// test case holds either way.
+  [[nodiscard]] virtual std::pair<int, int> ops_per_case() const {
+    return {40, 200};
+  }
+
+  /// Virtual-time envelope of one test case in seconds (how much virtual
+  /// clock a case consumes beyond per-op delays). Devices whose guests
+  /// issue shorter, denser test cases (SD cards, NICs) use a smaller
+  /// envelope, i.e. more cases per campaign hour.
+  [[nodiscard]] virtual std::pair<int, int> case_envelope_seconds() const {
+    return {20, 60};
+  }
+
+  /// Bulk storage I/O for the iozone-style benchmarks (storage devices
+  /// only; default implementations abort). `offset` and sizes are in
+  /// 512-byte blocks under the hood; `data.size()` must be a multiple of
+  /// the device's transfer granule.
+  [[nodiscard]] virtual bool is_storage() const { return false; }
+  virtual void bulk_write(uint32_t block, std::span<const uint8_t> data);
+  virtual void bulk_read(uint32_t block, std::span<uint8_t> data);
+  /// Largest supported byte offset for bulk I/O (FDC: the 2.88 MB medium).
+  [[nodiscard]] virtual uint64_t storage_capacity() const { return 0; }
+
+  /// One long-run test case: `ops` common operations (+ optionally a rare
+  /// one at a random position), advancing `clock` by a realistic duration.
+  void test_case(InteractionMode mode, Rng& rng, VirtualClock& clock,
+                 bool include_rare);
+
+  /// One benign fuzzing batch over the full legal vocabulary.
+  void fuzz_case(Rng& rng);
+
+  /// Runs the SEDSpec pipeline on this device and deploys the checker.
+  void build_and_deploy(checker::CheckerConfig config = {});
+
+  [[nodiscard]] const spec::EsCfg& spec() const { return cfg_; }
+  [[nodiscard]] checker::EsChecker* checker() { return checker_.get(); }
+  [[nodiscard]] bool deployed() const { return checker_ != nullptr; }
+
+ protected:
+  spec::EsCfg cfg_;
+  std::unique_ptr<checker::EsChecker> checker_;
+};
+
+/// The paper's five devices. `patched` selects the fixed code (true, the
+/// default for FP/performance runs) or leaves all the device's CVEs armed.
+[[nodiscard]] std::unique_ptr<DeviceWorkload> make_workload(
+    const std::string& device_name);
+
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+}  // namespace sedspec::guest

@@ -1,0 +1,43 @@
+// Ground-truth security incidents.
+//
+// When a vulnerable device executes an exploit *without* SEDSpec protection,
+// the damage it would do in a real hypervisor (heap corruption, control-flow
+// hijack, unbounded loop, use-after-free) is recorded here instead of
+// crashing the process. The incident log is the ground truth against which
+// SEDSpec's detection accuracy is measured (paper §VII-B: "comparing its
+// execution outcome with the ground truth").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/ids.h"
+
+namespace sedspec {
+
+enum class IncidentKind : uint8_t {
+  kOobWrite,        // buffer store outside its extent (hit a neighbor field)
+  kOobRead,         // buffer load outside its extent
+  kStructEscape,    // access landed outside the whole control structure
+                    // (real QEMU: heap corruption / crash)
+  kHijackedCall,    // indirect call through a pointer not in the function
+                    // table (real QEMU: arbitrary code execution)
+  kUseAfterFree,    // access to a freed/uninitialized object
+  kRunawayLoop,     // loop aborted by the watchdog (real QEMU: infinite
+                    // loop / DoS, e.g. CVE-2016-7909)
+  kDivByZero,
+};
+
+[[nodiscard]] std::string incident_kind_name(IncidentKind k);
+
+struct Incident {
+  IncidentKind kind = IncidentKind::kOobWrite;
+  ParamId field = kInvalidParam;  // buffer / pointer field involved
+  uint64_t detail = 0;            // index, address, or loop count
+  std::string note;
+};
+
+using IncidentLog = std::vector<Incident>;
+
+}  // namespace sedspec

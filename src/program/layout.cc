@@ -1,0 +1,98 @@
+#include "program/layout.h"
+
+#include "common/assert.h"
+
+namespace sedspec {
+
+std::string field_kind_name(FieldKind k) {
+  switch (k) {
+    case FieldKind::kRegister:
+      return "register";
+    case FieldKind::kBuffer:
+      return "buffer";
+    case FieldKind::kLength:
+      return "length";
+    case FieldKind::kIndex:
+      return "index";
+    case FieldKind::kFuncPtr:
+      return "funcptr";
+    case FieldKind::kFlag:
+      return "flag";
+    case FieldKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+ParamId StateLayout::append(FieldDesc desc, uint32_t align) {
+  SEDSPEC_REQUIRE(fields_.size() < kInvalidParam);
+  // Natural alignment, like a C struct without packing.
+  arena_size_ = (arena_size_ + align - 1) & ~(align - 1);
+  desc.offset = arena_size_;
+  arena_size_ += desc.size;
+  fields_.push_back(std::move(desc));
+  return static_cast<ParamId>(fields_.size() - 1);
+}
+
+ParamId StateLayout::add_scalar(std::string name, FieldKind kind,
+                                IntType type) {
+  SEDSPEC_REQUIRE_MSG(!find(name).has_value(), "duplicate field " + name);
+  FieldDesc d;
+  d.name = std::move(name);
+  d.kind = kind;
+  d.type = type;
+  d.size = bits_of(type) / 8;
+  return append(std::move(d), d.size);
+}
+
+ParamId StateLayout::add_buffer(std::string name, uint32_t elem_size,
+                                uint32_t count) {
+  SEDSPEC_REQUIRE_MSG(!find(name).has_value(), "duplicate field " + name);
+  SEDSPEC_REQUIRE(elem_size == 1 || elem_size == 2 || elem_size == 4 ||
+                  elem_size == 8);
+  SEDSPEC_REQUIRE(count > 0);
+  FieldDesc d;
+  d.name = std::move(name);
+  d.kind = FieldKind::kBuffer;
+  d.type = unsigned_type_for_size(elem_size);
+  d.elem_size = elem_size;
+  d.count = count;
+  d.size = elem_size * count;
+  return append(std::move(d), elem_size);
+}
+
+ParamId StateLayout::add_funcptr(std::string name) {
+  SEDSPEC_REQUIRE_MSG(!find(name).has_value(), "duplicate field " + name);
+  FieldDesc d;
+  d.name = std::move(name);
+  d.kind = FieldKind::kFuncPtr;
+  d.type = IntType::kU64;
+  d.size = 8;
+  return append(std::move(d), 8);
+}
+
+const FieldDesc& StateLayout::field(ParamId id) const {
+  SEDSPEC_REQUIRE(id < fields_.size());
+  return fields_[id];
+}
+
+std::optional<ParamId> StateLayout::find(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) {
+      return static_cast<ParamId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ParamId> StateLayout::field_at_offset(uint32_t offset) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const FieldDesc& f = fields_[i];
+    if (offset >= f.offset && offset < f.offset + f.size) {
+      return static_cast<ParamId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sedspec

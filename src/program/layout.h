@@ -1,0 +1,88 @@
+// Control-structure layout.
+//
+// Every emulated device has a control structure (paper §III-C: FDCtrl,
+// USBDevice, PCNetState, ...). A StateLayout describes that structure as a
+// flat byte arena: each field has a byte offset, a size, a declared integer
+// type, and a *kind* used by the CFG analyzer's selection rules (paper
+// Table I / §IV-B):
+//   kRegister — mirrors a physical device register           (Rule 1)
+//   kBuffer   — fixed-length data buffer                     (Rule 2)
+//   kLength   — counts valid data in a buffer                (Rule 2)
+//   kIndex    — indexes into a buffer                        (Rule 2)
+//   kFuncPtr  — function pointer (interrupt callback, ...)   (Rule 2)
+//   kFlag     — internal mode/phase flag (not auto-selected)
+//   kOther    — anything else
+//
+// The layout is shared between the live device (its arena IS the control
+// structure, so an out-of-bounds buffer write corrupts adjacent fields
+// exactly as in the real struct) and the ES-Checker's shadow device state.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/ids.h"
+#include "expr/type.h"
+
+namespace sedspec {
+
+enum class FieldKind : uint8_t {
+  kRegister,
+  kBuffer,
+  kLength,
+  kIndex,
+  kFuncPtr,
+  kFlag,
+  kOther,
+};
+
+[[nodiscard]] std::string field_kind_name(FieldKind k);
+
+struct FieldDesc {
+  std::string name;
+  FieldKind kind = FieldKind::kOther;
+  IntType type = IntType::kU8;  // scalar type, or buffer element type
+  uint32_t offset = 0;          // byte offset within the arena
+  uint32_t size = 0;            // total bytes
+  uint32_t elem_size = 0;       // buffers: bytes per element
+  uint32_t count = 0;           // buffers: element count
+
+  [[nodiscard]] bool is_buffer() const { return kind == FieldKind::kBuffer; }
+};
+
+class StateLayout {
+ public:
+  explicit StateLayout(std::string struct_name)
+      : struct_name_(std::move(struct_name)) {}
+
+  /// Appends a scalar field; returns its ParamId. Fields are laid out in
+  /// declaration order with natural alignment, mirroring a C struct.
+  ParamId add_scalar(std::string name, FieldKind kind, IntType type);
+
+  /// Appends a fixed-length buffer of `count` elements of `elem_size` bytes.
+  ParamId add_buffer(std::string name, uint32_t elem_size, uint32_t count);
+
+  /// Appends a function-pointer field (8 bytes, kind kFuncPtr).
+  ParamId add_funcptr(std::string name);
+
+  [[nodiscard]] const FieldDesc& field(ParamId id) const;
+  [[nodiscard]] size_t field_count() const { return fields_.size(); }
+  [[nodiscard]] uint32_t arena_size() const { return arena_size_; }
+  [[nodiscard]] const std::string& struct_name() const { return struct_name_; }
+
+  [[nodiscard]] std::optional<ParamId> find(const std::string& name) const;
+
+  /// The field whose byte range contains `offset`, if any. Used to report
+  /// which neighbor an out-of-bounds write corrupted.
+  [[nodiscard]] std::optional<ParamId> field_at_offset(uint32_t offset) const;
+
+ private:
+  ParamId append(FieldDesc desc, uint32_t align);
+
+  std::string struct_name_;
+  std::vector<FieldDesc> fields_;
+  uint32_t arena_size_ = 0;
+};
+
+}  // namespace sedspec

@@ -1,0 +1,135 @@
+#include "program/program.h"
+
+#include "common/assert.h"
+
+namespace sedspec {
+
+std::string block_kind_name(BlockKind k) {
+  switch (k) {
+    case BlockKind::kPlain:
+      return "plain";
+    case BlockKind::kConditional:
+      return "conditional";
+    case BlockKind::kIndirect:
+      return "indirect";
+    case BlockKind::kCmdDecision:
+      return "cmd-decision";
+    case BlockKind::kCmdEnd:
+      return "cmd-end";
+  }
+  return "?";
+}
+
+DeviceProgram::DeviceProgram(std::string device_name, StateLayout layout,
+                             FuncAddr code_base)
+    : name_(std::move(device_name)),
+      layout_(std::move(layout)),
+      code_base_(code_base),
+      next_addr_(code_base) {}
+
+SiteId DeviceProgram::add_site(SiteDesc desc) {
+  SEDSPEC_REQUIRE(sites_.size() < kInvalidSite);
+  desc.id = static_cast<SiteId>(sites_.size());
+  desc.addr = next_addr_;
+  next_addr_ += 16;
+  sites_.push_back(std::move(desc));
+  return sites_.back().id;
+}
+
+SiteId DeviceProgram::add_plain(std::string name, StmtList dsod) {
+  SiteDesc d;
+  d.name = std::move(name);
+  d.kind = BlockKind::kPlain;
+  d.dsod = std::move(dsod);
+  return add_site(std::move(d));
+}
+
+SiteId DeviceProgram::add_conditional(std::string name, ExprRef guard,
+                                      StmtList dsod) {
+  SEDSPEC_REQUIRE(guard != nullptr);
+  SiteDesc d;
+  d.name = std::move(name);
+  d.kind = BlockKind::kConditional;
+  d.guard = std::move(guard);
+  d.dsod = std::move(dsod);
+  return add_site(std::move(d));
+}
+
+SiteId DeviceProgram::add_indirect(std::string name, ParamId fp_param,
+                                   StmtList dsod) {
+  SEDSPEC_REQUIRE(layout_.field(fp_param).kind == FieldKind::kFuncPtr);
+  SiteDesc d;
+  d.name = std::move(name);
+  d.kind = BlockKind::kIndirect;
+  d.fp_param = fp_param;
+  d.dsod = std::move(dsod);
+  return add_site(std::move(d));
+}
+
+SiteId DeviceProgram::add_cmd_decision(std::string name, ExprRef cmd_expr,
+                                       StmtList dsod) {
+  SEDSPEC_REQUIRE(cmd_expr != nullptr);
+  SiteDesc d;
+  d.name = std::move(name);
+  d.kind = BlockKind::kCmdDecision;
+  d.cmd_expr = std::move(cmd_expr);
+  d.dsod = std::move(dsod);
+  return add_site(std::move(d));
+}
+
+SiteId DeviceProgram::add_cmd_end(std::string name, StmtList dsod) {
+  SiteDesc d;
+  d.name = std::move(name);
+  d.kind = BlockKind::kCmdEnd;
+  d.dsod = std::move(dsod);
+  return add_site(std::move(d));
+}
+
+FuncAddr DeviceProgram::add_function(std::string name) {
+  const FuncAddr addr = next_addr_;
+  next_addr_ += 16;
+  functions_.emplace(addr, std::move(name));
+  return addr;
+}
+
+LocalId DeviceProgram::add_local(std::string name) {
+  SEDSPEC_REQUIRE(local_names_.size() < 256);
+  local_names_.push_back(std::move(name));
+  return static_cast<LocalId>(local_names_.size() - 1);
+}
+
+const SiteDesc& DeviceProgram::site(SiteId id) const {
+  SEDSPEC_REQUIRE(id < sites_.size());
+  return sites_[id];
+}
+
+std::optional<SiteId> DeviceProgram::site_by_addr(FuncAddr addr) const {
+  if (addr < code_base_ || addr >= next_addr_) {
+    return std::nullopt;
+  }
+  // Sites and functions share the address range; linear scan (site counts
+  // are small and this is an offline-analysis path).
+  for (const SiteDesc& s : sites_) {
+    if (s.addr == addr) {
+      return s.id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SiteId> DeviceProgram::site_by_name(
+    const std::string& name) const {
+  for (const SiteDesc& s : sites_) {
+    if (s.name == name) {
+      return s.id;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::string& DeviceProgram::local_name(LocalId id) const {
+  SEDSPEC_REQUIRE(id < local_names_.size());
+  return local_names_[id];
+}
+
+}  // namespace sedspec

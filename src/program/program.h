@@ -1,0 +1,120 @@
+// DeviceProgram — the analyzable "source code" of an emulated device.
+//
+// The paper's pipeline consumes the device's C source through LLVM analysis
+// passes: it finds the statements that manipulate control-structure fields,
+// the guard expressions at conditional jumps, and the function-pointer
+// call sites. A DeviceProgram is exactly that extraction (see DESIGN.md §1,
+// "LLVM source analysis" substitution): a table of instrumentation sites,
+// each with
+//   - a block kind (paper §V-A: entry/exit/plain/conditional/command
+//     decision/command end; entry and exit are synthesized per I/O round),
+//   - its DSOD statement list (device-state operations),
+//   - for conditional sites, the NBTD guard expression,
+//   - for indirect sites, the function-pointer field being invoked,
+//   - for command-decision sites, the expression that decodes the command,
+//   - a synthetic code address (used by the IPT-style tracer for TIP packets
+//     and address-range filtering).
+//
+// The same table drives the live device: its instrumentation context
+// executes each site's DSOD with native (wrapping) semantics. This mirrors
+// the paper's setup — one source, compiled into the running binary and
+// analyzed offline — and guarantees the two views cannot drift.
+//
+// Vulnerability injection: a device builds its program for a given
+// "QEMU version" (VulnerabilityConfig); unpatched versions contain the
+// buggy statements/guards of the CVE being studied, patched versions the
+// fixed ones, exactly like checking out a different QEMU tag.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "expr/stmt.h"
+#include "program/layout.h"
+
+namespace sedspec {
+
+enum class BlockKind : uint8_t {
+  kPlain = 0,
+  kConditional,  // has an NBTD guard; emits taken/not-taken
+  kIndirect,     // invokes a function-pointer field
+  kCmdDecision,  // decodes the current device command
+  kCmdEnd,       // current command completed
+};
+
+[[nodiscard]] std::string block_kind_name(BlockKind k);
+
+struct SiteDesc {
+  SiteId id = kInvalidSite;
+  std::string name;  // source-location-like label, e.g. "fdc_write_data"
+  BlockKind kind = BlockKind::kPlain;
+  StmtList dsod;
+  ExprRef guard;                  // kConditional only
+  ParamId fp_param = kInvalidParam;  // kIndirect only
+  ExprRef cmd_expr;               // kCmdDecision only
+  FuncAddr addr = 0;              // synthetic code address of the block
+};
+
+class DeviceProgram {
+ public:
+  /// `code_base` anchors the device's synthetic code range; every site gets
+  /// an address inside [code_base, code_base + 16 * site_count).
+  DeviceProgram(std::string device_name, StateLayout layout,
+                FuncAddr code_base);
+
+  // --- Construction (used by each device's *_program.cc) -----------------
+  SiteId add_plain(std::string name, StmtList dsod);
+  SiteId add_conditional(std::string name, ExprRef guard, StmtList dsod = {});
+  SiteId add_indirect(std::string name, ParamId fp_param, StmtList dsod = {});
+  SiteId add_cmd_decision(std::string name, ExprRef cmd_expr,
+                          StmtList dsod = {});
+  SiteId add_cmd_end(std::string name, StmtList dsod = {});
+
+  /// Registers a legitimate indirect-call target; returns its address.
+  /// The runnable body lives in the device's function table
+  /// (vdev::InstrumentationContext); the program only knows the addresses,
+  /// which is what the indirect-jump check validates against.
+  FuncAddr add_function(std::string name);
+
+  /// Names a local variable (for diagnostics and the dataflow analyzer).
+  LocalId add_local(std::string name);
+
+  // --- Queries ------------------------------------------------------------
+  [[nodiscard]] const std::string& device_name() const { return name_; }
+  [[nodiscard]] const StateLayout& layout() const { return layout_; }
+  [[nodiscard]] const SiteDesc& site(SiteId id) const;
+  [[nodiscard]] size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] std::optional<SiteId> site_by_addr(FuncAddr addr) const;
+  [[nodiscard]] std::optional<SiteId> site_by_name(
+      const std::string& name) const;
+
+  [[nodiscard]] FuncAddr code_base() const { return code_base_; }
+  [[nodiscard]] FuncAddr code_end() const { return next_addr_; }
+
+  [[nodiscard]] const std::map<FuncAddr, std::string>& functions() const {
+    return functions_;
+  }
+  [[nodiscard]] bool is_function(FuncAddr addr) const {
+    return functions_.contains(addr);
+  }
+
+  [[nodiscard]] const std::string& local_name(LocalId id) const;
+  [[nodiscard]] size_t local_count() const { return local_names_.size(); }
+
+ private:
+  SiteId add_site(SiteDesc desc);
+
+  std::string name_;
+  StateLayout layout_;
+  FuncAddr code_base_;
+  FuncAddr next_addr_;
+  std::vector<SiteDesc> sites_;
+  std::map<FuncAddr, std::string> functions_;
+  std::vector<std::string> local_names_;
+};
+
+}  // namespace sedspec

@@ -1,0 +1,78 @@
+#include "sedspec/pipeline.h"
+
+#include "common/log.h"
+
+namespace sedspec::pipeline {
+
+CollectionResult collect(Device& device,
+                         const std::function<void()>& training) {
+  CollectionResult out;
+
+  // Pass 1: IPT-style trace, filtered to the device's code range with
+  // kernel-space tracing disabled (paper §IV-A).
+  trace::TraceFilter filter;
+  filter.range_lo = device.program().code_base();
+  filter.range_hi = device.program().code_end();
+  filter.trace_kernel = false;
+  trace::PacketEncoder encoder(filter);
+
+  device.reset();
+  device.ictx().set_trace_sink(&encoder);
+  training();
+  device.ictx().set_trace_sink(nullptr);
+
+  const std::vector<uint8_t> packets = encoder.finish();
+  out.trace_bytes = packets.size();
+  cfg::ItcCfgBuilder itc_builder;
+  itc_builder.feed_all(trace::decode(packets));
+  out.itc_cfg = itc_builder.take();
+
+  // CFG analysis: device-state parameter selection + observation plan.
+  out.selection = cfg::analyze(out.itc_cfg, device.program());
+
+  // Data-dependency recovery plan over the source.
+  out.recovery = dataflow::analyze_dependencies(device.program());
+
+  // Pass 2: observation points armed, produce the state-change log.
+  statelog::LogRecorder recorder;
+  recorder.set_site_filter(&out.selection.observation_sites);
+  device.reset();
+  device.ictx().set_observer(&recorder);
+  training();
+  device.ictx().set_observer(nullptr);
+  out.log = recorder.take();
+
+  log_info("pipeline") << device.name() << ": collected "
+                       << out.log.round_count() << " rounds, "
+                       << out.itc_cfg.node_count() << " ITC-CFG nodes, "
+                       << out.selection.params.size() << " parameters";
+  return out;
+}
+
+spec::EsCfg construct(Device& device, const CollectionResult& collection) {
+  return spec::EsCfgBuilder::build(device.program(), collection.selection,
+                                   collection.recovery, collection.log);
+}
+
+spec::EsCfg build_spec(Device& device,
+                       const std::function<void()>& training) {
+  const CollectionResult collection = collect(device, training);
+  spec::EsCfg cfg = construct(device, collection);
+  device.reset();
+  return cfg;
+}
+
+std::unique_ptr<checker::EsChecker> deploy(const spec::EsCfg& cfg,
+                                           Device& device, IoBus& bus,
+                                           checker::CheckerConfig config) {
+  auto checker = std::make_unique<checker::EsChecker>(&cfg, &device, config);
+  bus.set_proxy(checker.get());
+  // Host-side device activity (e.g. wire frame delivery) mutates the
+  // control structure outside any guest I/O round; the shadow must pick
+  // those changes up before the next checked access.
+  checker::EsChecker* raw = checker.get();
+  device.set_internal_activity_hook([raw] { raw->resync(); });
+  return checker;
+}
+
+}  // namespace sedspec::pipeline

@@ -1,0 +1,44 @@
+#include "spec/diff.h"
+
+#include <sstream>
+
+#include "spec/builder.h"
+
+namespace sedspec::spec {
+
+SpecDiff diff(const EsCfg& a, const EsCfg& b) {
+  if (a.device_name != b.device_name) {
+    throw BuildError("diffing specifications of different devices");
+  }
+  const auto ea = edge_keys(a);
+  const auto eb = edge_keys(b);
+  SpecDiff d;
+  for (const auto& e : ea) {
+    if (eb.contains(e)) {
+      ++d.common;
+    } else {
+      d.only_a.insert(e);
+    }
+  }
+  for (const auto& e : eb) {
+    if (!ea.contains(e)) {
+      d.only_b.insert(e);
+    }
+  }
+  return d;
+}
+
+std::string to_text(const SpecDiff& d) {
+  std::ostringstream out;
+  out << d.common << " common edges, " << d.only_a.size() << " only in A, "
+      << d.only_b.size() << " only in B\n";
+  for (const auto& e : d.only_a) {
+    out << "  -A " << e << "\n";
+  }
+  for (const auto& e : d.only_b) {
+    out << "  +B " << e << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sedspec::spec

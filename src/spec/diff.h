@@ -1,0 +1,32 @@
+// Execution-specification diffing.
+//
+// Companion to spec::merge: shows what one trained specification covers
+// that another does not, in terms of trained edges (entry dispatches,
+// branch directions, successors, command dispatches, indirect targets).
+// Useful for auditing a merge (what did the test team's corpus add?) and
+// for regression review when a device's training mix changes.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "spec/es_cfg.h"
+
+namespace sedspec::spec {
+
+struct SpecDiff {
+  std::set<std::string> only_a;  // edges trained in a but not b
+  std::set<std::string> only_b;  // edges trained in b but not a
+  size_t common = 0;
+
+  [[nodiscard]] bool identical() const {
+    return only_a.empty() && only_b.empty();
+  }
+};
+
+[[nodiscard]] SpecDiff diff(const EsCfg& a, const EsCfg& b);
+
+/// Human-readable rendering of a diff.
+[[nodiscard]] std::string to_text(const SpecDiff& d);
+
+}  // namespace sedspec::spec

@@ -1,0 +1,157 @@
+#include "spec/es_cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace sedspec::spec {
+
+bool EsCfg::is_param(ParamId id) const {
+  return std::find(params.begin(), params.end(), id) != params.end();
+}
+
+uint64_t EsCfg::edge_count() const {
+  uint64_t n = 0;
+  for (const auto& [site, b] : blocks) {
+    if (b.kind == BlockKind::kConditional && !b.merged) {
+      n += b.taken.observed ? 1 : 0;
+      n += b.not_taken.observed ? 1 : 0;
+    } else if (b.has_succ || b.ends) {
+      n += 1;
+    }
+    n += b.fp_targets.size();
+    for (const auto& [cmd, d] : b.cmd_dispatch) {
+      n += d.observed ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::set<std::string> edge_keys(const EsCfg& cfg) {
+  std::set<std::string> keys;
+  auto site_str = [](SiteId s) { return std::to_string(s); };
+  for (const auto& [key, site] : cfg.entry_dispatch) {
+    keys.insert("entry:" + std::to_string(static_cast<int>(key.space)) + ":" +
+                std::to_string(key.addr) + ":" + (key.is_write ? "w" : "r") +
+                "->" + site_str(site));
+  }
+  for (const auto& [site, b] : cfg.blocks) {
+    auto dir_key = [&](const CondDir& d, const char* label) {
+      if (!d.observed) {
+        return;
+      }
+      keys.insert("cond:" + site_str(site) + ":" + label + "->" +
+                  (d.ends ? std::string("end") : site_str(d.succ)));
+    };
+    if (b.kind == BlockKind::kConditional && !b.merged) {
+      dir_key(b.taken, "t");
+      dir_key(b.not_taken, "n");
+    } else if (b.has_succ) {
+      keys.insert("seq:" + site_str(site) + "->" + site_str(b.succ));
+    } else if (b.ends) {
+      keys.insert("seq:" + site_str(site) + "->end");
+    }
+    for (const auto& [cmd, d] : b.cmd_dispatch) {
+      if (d.observed) {
+        keys.insert("cmd:" + site_str(site) + ":" + std::to_string(cmd) +
+                    "->" + (d.ends ? std::string("end") : site_str(d.succ)));
+      }
+    }
+    for (FuncAddr t : b.fp_targets) {
+      keys.insert("itarget:" + site_str(site) + ":" + std::to_string(t));
+    }
+  }
+  return keys;
+}
+
+std::string EsCfg::to_text(const sedspec::DeviceProgram& program) const {
+  std::ostringstream out;
+  out << "ES-CFG for " << device_name << "\n";
+  out << "  trained rounds: " << trained_rounds << "\n";
+  out << "  device state parameters:";
+  for (ParamId p : params) {
+    out << " " << program.layout().field(p).name;
+  }
+  out << "\n  entry dispatch:\n";
+  for (const auto& [key, site] : entry_dispatch) {
+    out << "    " << (key.space == sedspec::IoSpace::kPio ? "pio" : "mmio")
+        << " 0x" << std::hex << key.addr << std::dec
+        << (key.is_write ? " write" : " read") << " -> ";
+    if (site == sedspec::kInvalidSite) {
+      out << "(no instrumented block)\n";
+    } else {
+      out << blocks.at(site).name << "\n";
+    }
+  }
+  out << "  blocks (" << blocks.size() << ", " << blocks_before_reduction
+      << " before reduction):\n";
+  for (const auto& [site, b] : blocks) {
+    out << "    [" << b.name << "] " << block_kind_name(b.kind)
+        << (b.merged ? " (merged)" : "") << "\n";
+    for (const auto& s : b.dsod) {
+      out << "      dsod: " << to_string(s) << "\n";
+    }
+    if (b.kind == BlockKind::kConditional && !b.merged && b.guard != nullptr) {
+      out << "      nbtd: if (" << to_string(*b.guard) << ")\n";
+      auto dir = [&](const CondDir& d, const char* label) {
+        out << "        " << label << ": ";
+        if (!d.observed) {
+          out << "(never observed)";
+        } else if (d.ends) {
+          out << "(round ends)";
+        } else {
+          out << blocks.at(d.succ).name;
+        }
+        out << "\n";
+      };
+      dir(b.taken, "taken    ");
+      dir(b.not_taken, "not-taken");
+    } else if (b.has_succ) {
+      out << "      next: " << blocks.at(b.succ).name << "\n";
+    } else if (b.ends) {
+      out << "      next: (round ends)\n";
+    }
+    if (!b.fp_targets.empty()) {
+      out << "      indirect targets:";
+      for (FuncAddr t : b.fp_targets) {
+        auto it = program.functions().find(t);
+        if (it != program.functions().end()) {
+          out << " " << it->second;
+        } else {
+          out << " 0x" << std::hex << t << std::dec;
+        }
+      }
+      out << "\n";
+    }
+    if (!b.cmd_dispatch.empty()) {
+      for (const auto& [cmd, d] : b.cmd_dispatch) {
+        out << "      cmd 0x" << std::hex << cmd << std::dec << " -> ";
+        if (d.ends) {
+          out << "(round ends)";
+        } else {
+          out << blocks.at(d.succ).name;
+        }
+        out << "\n";
+      }
+    }
+    if (b.max_visits_per_round > 1) {
+      out << "      max visits/round: " << b.max_visits_per_round << "\n";
+    }
+  }
+  out << "  command access table (" << commands.size() << " commands):\n";
+  for (const auto& [cmd, ci] : commands) {
+    out << "    cmd 0x" << std::hex << cmd << std::dec << " ("
+        << ci.observed << " obs): " << ci.access.size()
+        << " accessible blocks\n";
+  }
+  if (!sync_locals.empty()) {
+    out << "  sync points:";
+    for (LocalId l : sync_locals) {
+      out << " " << program.local_name(l);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sedspec::spec

@@ -1,0 +1,139 @@
+// ES-CFG: the Execution Specification Control Flow Graph (paper §V).
+//
+// The execution specification of an emulated device: basic blocks carrying
+// DSOD (device-state operations) and NBTD (guarded transitions), an entry
+// dispatch keyed by the I/O access kind, per-command access-control vectors
+// (the cmd_act table of Algorithm 1), trained indirect-jump target sets,
+// trained per-round visit bounds, and the sync-point set from data-
+// dependency recovery.
+//
+// An ES-CFG is built ONLY from device-state-change logs of benign training
+// runs (src/spec/builder.h); branch directions, commands, I/O keys, and
+// indirect targets never observed during training are simply absent — the
+// ES-Checker treats encountering them at runtime as a violation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "expr/io.h"
+#include "expr/stmt.h"
+#include "program/program.h"
+
+namespace sedspec::spec {
+
+using sedspec::BlockKind;
+using sedspec::ExprRef;
+using sedspec::FuncAddr;
+using sedspec::IoKey;
+using sedspec::LocalId;
+using sedspec::ParamId;
+using sedspec::SiteId;
+using sedspec::StmtList;
+
+/// One direction of a conditional block's NBTD.
+struct CondDir {
+  bool observed = false;
+  bool ends = false;            // this direction terminates the I/O round
+  SiteId succ = sedspec::kInvalidSite;  // valid iff observed && !ends
+};
+
+struct EsBlock {
+  SiteId site = sedspec::kInvalidSite;
+  BlockKind kind = BlockKind::kPlain;
+  std::string name;  // source label, for diagnostics
+
+  /// DSOD filtered to selected device-state parameters, with computable
+  /// locals inlined by data-dependency recovery.
+  StmtList dsod;
+
+  // NBTD (kConditional).
+  ExprRef guard;  // rewritten
+  CondDir taken;
+  CondDir not_taken;
+
+  // kCmdDecision: decodes the current device command.
+  ExprRef cmd_expr;  // rewritten
+  /// Per-command trained successor at THIS decision block (a device may
+  /// have several decision blocks, e.g. command-byte latch and post-
+  /// parameter execution dispatch).
+  std::map<uint64_t, CondDir> cmd_dispatch;
+
+  // kPlain / kIndirect / kCmdEnd transition.
+  bool has_succ = false;
+  SiteId succ = sedspec::kInvalidSite;
+  bool ends = false;  // block observed terminating the round
+
+  // kIndirect.
+  ParamId fp_param = sedspec::kInvalidParam;
+  std::set<FuncAddr> fp_targets;  // trained legitimate targets
+
+  /// Maximum times this block was visited within a single training round.
+  /// The checker allows a slack multiple of this before flagging a runaway
+  /// loop (conditional-jump strategy; see checker/checker.h).
+  uint64_t max_visits_per_round = 0;
+
+  /// True if this conditional block was merged into a plain block during
+  /// control-flow reduction (§V-C: both directions reach the same block).
+  bool merged = false;
+};
+
+/// Entry in the command access control table (Algorithm 1's cmd_act).
+struct CmdInfo {
+  std::set<SiteId> access;  // blocks reachable while this command is active
+  uint64_t observed = 0;    // training occurrences
+};
+
+class EsCfg {
+ public:
+  std::string device_name;
+
+  /// Selected device-state parameters (layout order).
+  std::vector<ParamId> params;
+
+  /// I/O kind -> first basic block.
+  std::map<IoKey, SiteId> entry_dispatch;
+
+  std::map<SiteId, EsBlock> blocks;
+
+  /// Command access control table.
+  std::map<uint64_t, CmdInfo> commands;
+
+  /// Locals that require runtime sync (paper §V-D).
+  std::set<LocalId> sync_locals;
+
+  uint64_t trained_rounds = 0;
+
+  // Control-flow reduction statistics (ablation bench).
+  uint64_t blocks_before_reduction = 0;
+  uint64_t merged_conditionals = 0;
+  uint64_t spliced_blocks = 0;
+
+  [[nodiscard]] const EsBlock* block(SiteId site) const {
+    auto it = blocks.find(site);
+    return it == blocks.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] bool is_param(ParamId id) const;
+
+  /// Total trained edges (for the effective-coverage metric, Table III).
+  [[nodiscard]] uint64_t edge_count() const;
+
+  /// Human-readable dump (examples/spec_inspector).
+  [[nodiscard]] std::string to_text(
+      const sedspec::DeviceProgram& program) const;
+};
+
+/// Canonical string keys for every trained edge of the ES-CFG (entry
+/// dispatches, conditional directions, sequential successors, command
+/// dispatches, indirect targets). Two ES-CFGs over the same DeviceProgram
+/// can be compared edge-wise — the basis of the effective-coverage metric
+/// (paper §VII-B1: covered paths relative to all legitimate-behavior
+/// paths).
+[[nodiscard]] std::set<std::string> edge_keys(const EsCfg& cfg);
+
+}  // namespace sedspec::spec

@@ -1,0 +1,107 @@
+#include "spec/merge.h"
+
+#include <algorithm>
+
+#include "spec/builder.h"
+
+namespace sedspec::spec {
+
+namespace {
+
+void merge_dir(const std::string& what, CondDir* into, const CondDir& from) {
+  if (!from.observed) {
+    return;
+  }
+  if (!into->observed) {
+    *into = from;
+    return;
+  }
+  if (into->ends != from.ends ||
+      (!into->ends && into->succ != from.succ)) {
+    throw BuildError("conflicting trained direction while merging: " + what);
+  }
+}
+
+void merge_block(EsBlock* into, const EsBlock& from) {
+  merge_dir(from.name + "/taken", &into->taken, from.taken);
+  merge_dir(from.name + "/not-taken", &into->not_taken, from.not_taken);
+  if (from.has_succ) {
+    if (into->ends || (into->has_succ && into->succ != from.succ)) {
+      throw BuildError("conflicting successor while merging: " + from.name);
+    }
+    into->has_succ = true;
+    into->succ = from.succ;
+  }
+  if (from.ends) {
+    if (into->has_succ && !into->merged) {
+      throw BuildError("conflicting round end while merging: " + from.name);
+    }
+    into->ends = true;
+  }
+  for (const auto& [cmd, dir] : from.cmd_dispatch) {
+    merge_dir(from.name + "/cmd", &into->cmd_dispatch[cmd], dir);
+  }
+  into->fp_targets.insert(from.fp_targets.begin(), from.fp_targets.end());
+  into->max_visits_per_round =
+      std::max(into->max_visits_per_round, from.max_visits_per_round);
+  // A conditional merged (both directions converge) in only one input stays
+  // conditional: the union must accept both inputs' behaviors, and the
+  // unmerged form is the more permissive representation of the directions.
+  if (into->merged && !from.merged) {
+    into->merged = false;
+    into->has_succ = false;
+    into->ends = false;
+  }
+}
+
+}  // namespace
+
+EsCfg merge(const EsCfg& a, const EsCfg& b) {
+  if (a.device_name != b.device_name) {
+    throw BuildError("merging specifications of different devices");
+  }
+  EsCfg out = a;
+  out.trained_rounds += b.trained_rounds;
+  out.blocks_before_reduction += b.blocks_before_reduction;
+  out.merged_conditionals += b.merged_conditionals;
+  out.spliced_blocks += b.spliced_blocks;
+
+  for (ParamId p : b.params) {
+    if (!out.is_param(p)) {
+      out.params.push_back(p);
+    }
+  }
+  std::sort(out.params.begin(), out.params.end());
+
+  for (const auto& [key, site] : b.entry_dispatch) {
+    auto [it, inserted] = out.entry_dispatch.emplace(key, site);
+    if (!inserted && it->second != site) {
+      // One side saw no instrumented block for this key; keep the real one.
+      if (it->second == kInvalidSite) {
+        it->second = site;
+      } else if (site != kInvalidSite) {
+        throw BuildError("conflicting entry block while merging");
+      }
+    }
+  }
+
+  for (const auto& [site, block] : b.blocks) {
+    auto it = out.blocks.find(site);
+    if (it == out.blocks.end()) {
+      out.blocks.emplace(site, block);
+    } else {
+      merge_block(&it->second, block);
+    }
+  }
+
+  for (const auto& [cmd, info] : b.commands) {
+    CmdInfo& into = out.commands[cmd];
+    into.access.insert(info.access.begin(), info.access.end());
+    into.observed += info.observed;
+  }
+
+  out.sync_locals.insert(b.sync_locals.begin(), b.sync_locals.end());
+  return out;
+}
+
+}  // namespace sedspec::spec

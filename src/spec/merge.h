@@ -1,0 +1,22 @@
+// Execution-specification merging — the paper's false-positive remedy
+// (§VIII): "distributing SEDSpec among device developers and testers ...
+// enables the utilization of extensive test cases to formulate precise
+// execution specifications". Each party trains on its own workloads; the
+// union of the resulting ES-CFGs covers the union of the observed
+// behaviors, so commands rare at one site but common at another stop being
+// false positives.
+//
+// Merging is a union over trained facts: entry dispatches, branch
+// directions, successors, indirect targets, command dispatches and access
+// vectors, visit bounds (max), and sync points. Two specs over the same
+// device program can only conflict if one of them was built from an
+// inconsistent log — that raises spec::BuildError.
+#pragma once
+
+#include "spec/es_cfg.h"
+
+namespace sedspec::spec {
+
+[[nodiscard]] EsCfg merge(const EsCfg& a, const EsCfg& b);
+
+}  // namespace sedspec::spec

@@ -1,0 +1,27 @@
+// ES-CFG persistence.
+//
+// An execution specification is generated offline (phases 1-2 of the paper)
+// and deployed into the hypervisor for runtime protection (phase 3), so it
+// must round-trip through a byte format. Expressions and statements are
+// serialized structurally; the format is versioned and fail-fast.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "spec/es_cfg.h"
+
+namespace sedspec::spec {
+
+/// Serializes an expression tree (nullptr allowed).
+void write_expr(sedspec::ByteWriter& w, const ExprRef& e);
+[[nodiscard]] ExprRef read_expr(sedspec::ByteReader& r);
+
+void write_stmt(sedspec::ByteWriter& w, const sedspec::Stmt& s);
+[[nodiscard]] sedspec::Stmt read_stmt(sedspec::ByteReader& r);
+
+[[nodiscard]] std::vector<uint8_t> serialize(const EsCfg& cfg);
+[[nodiscard]] EsCfg deserialize(std::span<const uint8_t> bytes);
+
+}  // namespace sedspec::spec

@@ -1,0 +1,52 @@
+#include "trace/encoder.h"
+
+namespace sedspec::trace {
+
+void PacketEncoder::flush_tnt() {
+  if (tnt_count_ == 0) {
+    return;
+  }
+  // Stop-bit encoding: highest set bit terminates, outcomes below it.
+  const uint8_t header =
+      static_cast<uint8_t>((1u << tnt_count_) | tnt_bits_);
+  writer_.u8(kOpTnt);
+  writer_.u8(header);
+  tnt_bits_ = 0;
+  tnt_count_ = 0;
+}
+
+void PacketEncoder::pge(FuncAddr addr) {
+  flush_tnt();
+  writer_.u8(kOpPge);
+  writer_.u64(addr);
+}
+
+void PacketEncoder::pgd() {
+  flush_tnt();
+  writer_.u8(kOpPgd);
+}
+
+void PacketEncoder::tip(FuncAddr addr) {
+  if (!filter_.pass(addr)) {
+    ++dropped_;
+    return;
+  }
+  flush_tnt();
+  writer_.u8(kOpTip);
+  writer_.u64(addr);
+}
+
+void PacketEncoder::tnt(bool taken) {
+  tnt_bits_ |= static_cast<uint8_t>(taken ? (1u << tnt_count_) : 0u);
+  ++tnt_count_;
+  if (tnt_count_ == 6) {
+    flush_tnt();
+  }
+}
+
+std::vector<uint8_t> PacketEncoder::finish() {
+  flush_tnt();
+  return writer_.take();
+}
+
+}  // namespace sedspec::trace

@@ -1,0 +1,53 @@
+#include "trace/packets.h"
+
+#include "common/assert.h"
+
+namespace sedspec::trace {
+
+std::vector<TraceEvent> decode(std::span<const uint8_t> bytes) {
+  std::vector<TraceEvent> events;
+  ByteReader reader(bytes);
+  while (!reader.done()) {
+    const uint8_t op = reader.u8();
+    switch (op) {
+      case kOpPge: {
+        TraceEvent e;
+        e.kind = EventKind::kPge;
+        e.addr = reader.u64();
+        events.push_back(e);
+        break;
+      }
+      case kOpPgd: {
+        events.push_back(TraceEvent{EventKind::kPgd, 0, false});
+        break;
+      }
+      case kOpTip: {
+        TraceEvent e;
+        e.kind = EventKind::kTip;
+        e.addr = reader.u64();
+        events.push_back(e);
+        break;
+      }
+      case kOpTnt: {
+        const uint8_t header = reader.u8();
+        SEDSPEC_REQUIRE_MSG(header != 0, "empty TNT packet");
+        // Highest set bit is the stop marker; bits below it are outcomes,
+        // LSB = oldest branch.
+        int stop = 7;
+        while (((header >> stop) & 1u) == 0) {
+          --stop;
+        }
+        for (int i = 0; i < stop; ++i) {
+          events.push_back(
+              TraceEvent{EventKind::kTnt, 0, ((header >> i) & 1u) != 0});
+        }
+        break;
+      }
+      default:
+        SEDSPEC_REQUIRE_MSG(false, "unknown trace packet opcode");
+    }
+  }
+  return events;
+}
+
+}  // namespace sedspec::trace

@@ -1,0 +1,70 @@
+// IPT-style trace packets.
+//
+// The paper collects device control flow with Intel Processor Trace
+// (§IV-A). We reproduce the packet-level interface in software: the
+// instrumented device emits PGE/PGD (trace on/off at I/O entry/exit), TIP
+// (block entry / indirect target addresses) and TNT (conditional branch
+// direction) packets. TNT bits are packed up to six per packet as in real
+// IPT short-TNT encoding. The decoder recovers the exact event stream an
+// IPT decoder would hand to FlowGuard's ITC-CFG construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "expr/ids.h"
+
+namespace sedspec::trace {
+
+enum class EventKind : uint8_t {
+  kPge = 1,  // packet generation enable: trace window opens (I/O entry)
+  kPgd = 2,  // packet generation disable: window closes (I/O exit)
+  kTip = 3,  // target instruction pointer: block entry or indirect target
+  kTnt = 4,  // taken/not-taken conditional bit
+};
+
+struct TraceEvent {
+  EventKind kind = EventKind::kTip;
+  FuncAddr addr = 0;  // kPge / kTip
+  bool taken = false;  // kTnt
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Address-range / privilege filter, mirroring the paper's IPT
+/// configuration: "the IPT module calculates the range of the emulated
+/// device code ... and sets it as the range of addresses that can be
+/// collected"; "tracing of kernel space control flow is disabled".
+struct TraceFilter {
+  FuncAddr range_lo = 0;
+  FuncAddr range_hi = ~FuncAddr{0};
+  bool trace_kernel = false;
+
+  static constexpr FuncAddr kKernelBase = 0xffff'8000'0000'0000ULL;
+
+  [[nodiscard]] bool pass(FuncAddr addr) const {
+    if (!trace_kernel && addr >= kKernelBase) {
+      return false;
+    }
+    return addr >= range_lo && addr < range_hi;
+  }
+};
+
+// Wire format (little-endian):
+//   0x01 <u64 addr>       PGE
+//   0x02                  PGD
+//   0x03 <u64 addr>       TIP
+//   0x04 <u8 header>      short TNT: header = (1 << (n)) | bits, n in [1,6]
+//                         (stop-bit encoding: the highest set bit marks the
+//                         end; lower bits are branch outcomes, LSB first)
+inline constexpr uint8_t kOpPge = 0x01;
+inline constexpr uint8_t kOpPgd = 0x02;
+inline constexpr uint8_t kOpTip = 0x03;
+inline constexpr uint8_t kOpTnt = 0x04;
+
+/// Decodes a packet buffer into the event stream. Throws std::logic_error
+/// on malformed input.
+std::vector<TraceEvent> decode(std::span<const uint8_t> bytes);
+
+}  // namespace sedspec::trace

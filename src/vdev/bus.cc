@@ -1,0 +1,99 @@
+#include "vdev/bus.h"
+
+#include <chrono>
+
+#include "common/assert.h"
+
+namespace sedspec {
+
+void spin_wait_ns(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+    // busy wait: models fixed hardware/hypervisor path latency
+  }
+}
+
+void IoBus::exit_cost() const { spin_wait_ns(access_latency_ns_); }
+
+void IoProxy::after_access(Device& /*device*/, const IoAccess& /*io*/) {}
+
+void IoBus::map(IoSpace space, uint64_t base, uint64_t len, Device* device) {
+  SEDSPEC_REQUIRE(device != nullptr && len > 0);
+  for (const Mapping& m : mappings_) {
+    if (m.space == space && base < m.base + m.len && m.base < base + len) {
+      SEDSPEC_REQUIRE_MSG(false, "overlapping I/O mapping");
+    }
+  }
+  mappings_.push_back(Mapping{space, base, len, device});
+}
+
+Device* IoBus::device_at(IoSpace space, uint64_t addr) const {
+  for (const Mapping& m : mappings_) {
+    if (m.space == space && addr >= m.base && addr < m.base + m.len) {
+      return m.device;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t IoBus::read(IoSpace space, uint64_t addr, uint8_t size) {
+  ++accesses_;
+  exit_cost();
+  Device* dev = device_at(space, addr);
+  if (dev == nullptr) {
+    return ~uint64_t{0} >> (64 - 8 * size);
+  }
+  if (dev->halted()) {
+    ++blocked_;
+    return 0;
+  }
+  IoAccess io;
+  io.space = space;
+  io.addr = addr;
+  io.size = size;
+  io.is_write = false;
+  if (proxy_ != nullptr && !proxy_->before_access(*dev, io)) {
+    ++blocked_;
+    return 0;
+  }
+  const uint64_t value = dev->io_read(io);
+  if (proxy_ != nullptr) {
+    IoAccess done = io;
+    done.value = value;
+    proxy_->after_access(*dev, done);
+  }
+  return value;
+}
+
+void IoBus::write(IoSpace space, uint64_t addr, uint8_t size, uint64_t value) {
+  ++accesses_;
+  exit_cost();
+  Device* dev = device_at(space, addr);
+  if (dev == nullptr) {
+    return;
+  }
+  if (dev->halted()) {
+    ++blocked_;
+    return;
+  }
+  IoAccess io;
+  io.space = space;
+  io.addr = addr;
+  io.size = size;
+  io.value = value;
+  io.is_write = true;
+  if (proxy_ != nullptr && !proxy_->before_access(*dev, io)) {
+    ++blocked_;
+    return;
+  }
+  dev->io_write(io);
+  if (proxy_ != nullptr) {
+    proxy_->after_access(*dev, io);
+  }
+}
+
+}  // namespace sedspec

@@ -1,0 +1,82 @@
+// I/O bus with a pre-access proxy hook.
+//
+// Dispatches guest PMIO/MMIO accesses to mapped devices. An IoProxy — the
+// ES-Checker in deployment (paper Fig. 1, phase 3) — sees every access
+// *before* the device executes it and can veto it; this is the paper's
+// "anomaly detection before the execution of emulated devices".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/io.h"
+#include "vdev/device.h"
+
+namespace sedspec {
+
+class IoProxy {
+ public:
+  virtual ~IoProxy() = default;
+  /// Returns false to block the access (the write is dropped / the read
+  /// returns 0). The proxy may also halt the device.
+  virtual bool before_access(Device& device, const IoAccess& io) = 0;
+
+  /// Called after the device executed a non-blocked access. For reads,
+  /// `io.value` carries the value the device returned.
+  virtual void after_access(Device& device, const IoAccess& io);
+};
+
+class IoBus {
+ public:
+  /// Maps [base, base+len) in `space` to `device` (non-owning).
+  void map(IoSpace space, uint64_t base, uint64_t len, Device* device);
+
+  /// Installs/removes the pre-access proxy (non-owning; nullptr to remove).
+  void set_proxy(IoProxy* proxy) { proxy_ = proxy; }
+
+  /// Guest read: dispatches to the mapped device. Unmapped reads return
+  /// all-ones (x86 bus float); accesses to a halted device return 0.
+  uint64_t read(IoSpace space, uint64_t addr, uint8_t size);
+
+  /// Guest write: dispatches to the mapped device; silently ignores
+  /// unmapped or halted targets, counts blocked accesses.
+  void write(IoSpace space, uint64_t addr, uint8_t size, uint64_t value);
+
+  [[nodiscard]] uint64_t access_count() const { return accesses_; }
+  [[nodiscard]] uint64_t blocked_count() const { return blocked_; }
+  void reset_stats() { accesses_ = blocked_ = 0; }
+
+  /// VM-exit cost model for the performance benchmarks: every dispatched
+  /// access busy-waits this long, standing in for the KVM exit +
+  /// kernel->QEMU round trip a real trapped PMIO/MMIO access pays (several
+  /// microseconds on the paper's testbed). Zero (the default) disables it;
+  /// the functional tests never enable it. See DESIGN.md §1.
+  void set_access_latency_ns(uint64_t ns) { access_latency_ns_ = ns; }
+  [[nodiscard]] uint64_t access_latency_ns() const {
+    return access_latency_ns_;
+  }
+
+  [[nodiscard]] Device* device_at(IoSpace space, uint64_t addr) const;
+
+ private:
+  struct Mapping {
+    IoSpace space;
+    uint64_t base;
+    uint64_t len;
+    Device* device;
+  };
+
+  void exit_cost() const;
+
+  std::vector<Mapping> mappings_;
+  IoProxy* proxy_ = nullptr;
+  uint64_t accesses_ = 0;
+  uint64_t blocked_ = 0;
+  uint64_t access_latency_ns_ = 0;
+};
+
+/// Busy-waits for `ns` nanoseconds (shared by the bus exit model and the
+/// device backend model).
+void spin_wait_ns(uint64_t ns);
+
+}  // namespace sedspec

@@ -1,0 +1,37 @@
+#include "vdev/device.h"
+
+#include "vdev/bus.h"
+
+namespace sedspec {
+
+void Device::backend_delay() const { spin_wait_ns(backend_latency_ns_); }
+
+Device::Device(const DeviceProgram* program)
+    : program_(program),
+      arena_(&program->layout()),
+      ictx_(program, &arena_, [this](const Incident& i) { record_incident(i); }) {
+  arena_.set_incident_fn([this](const Incident& i) { record_incident(i); });
+}
+
+void Device::reset() {
+  arena_.reset();
+  halted_ = false;
+  reset_device();
+}
+
+std::optional<uint64_t> Device::resolve_sync(LocalId /*local*/,
+                                             const IoAccess& /*io*/,
+                                             const StateAccess& /*view*/) {
+  return std::nullopt;
+}
+
+bool Device::has_incident(IncidentKind kind) const {
+  for (const Incident& i : incidents_) {
+    if (i.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sedspec

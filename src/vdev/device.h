@@ -1,0 +1,118 @@
+// Device base class.
+//
+// A device owns its control-structure arena, its instrumentation context,
+// an IRQ line, and a ground-truth incident log. Concrete devices
+// (src/devices) implement io_read/io_write against their register maps and,
+// where the dataflow analyzer planted sync points, resolve_sync (paper
+// §V-D: "synchronizing variable values from the sync point function").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "expr/io.h"
+#include "program/arena.h"
+#include "program/incident.h"
+#include "program/program.h"
+#include "vdev/instr.h"
+#include "vdev/irq.h"
+
+namespace sedspec {
+
+class Device {
+ public:
+  /// The device keeps a non-owning pointer to `program`; the caller (usually
+  /// the concrete device, which builds its program first) guarantees it
+  /// outlives the device.
+  explicit Device(const DeviceProgram* program);
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& name() const {
+    return program_->device_name();
+  }
+
+  /// Resets device state to power-on values. Subclasses override
+  /// reset_device(); the base clears the arena and the halted flag first.
+  void reset();
+
+  /// Bus entry points. `io.addr` is the absolute port/physical address.
+  virtual uint64_t io_read(const IoAccess& io) = 0;
+  virtual void io_write(const IoAccess& io) = 0;
+
+  /// Sync-point resolution for the ES-Checker (paper §V-D): the value a
+  /// local variable would take at this point of the simulated execution.
+  /// `view` is the checker's *shadow* device state — resolution must read
+  /// device-state parameters through it (not through the live arena), so a
+  /// local that depends on loop-carried state (e.g. the current descriptor
+  /// index) resolves correctly on every encounter. Implementations may read
+  /// guest memory; they must be side-effect-free. Default: unresolvable.
+  virtual std::optional<uint64_t> resolve_sync(LocalId local,
+                                               const IoAccess& io,
+                                               const StateAccess& view);
+
+  [[nodiscard]] const DeviceProgram& program() const { return *program_; }
+  [[nodiscard]] StateArena& state() { return arena_; }
+  [[nodiscard]] const StateArena& state() const { return arena_; }
+  [[nodiscard]] InstrumentationContext& ictx() { return ictx_; }
+  [[nodiscard]] IrqLine& irq_line() { return irq_; }
+
+  [[nodiscard]] const IncidentLog& incidents() const { return incidents_; }
+  void clear_incidents() { incidents_.clear(); }
+  [[nodiscard]] bool has_incident(IncidentKind kind) const;
+
+  /// Protection mode halts a compromised device; the bus then refuses
+  /// further accesses to it.
+  [[nodiscard]] bool halted() const { return halted_; }
+  void set_halted(bool halted) { halted_ = halted; }
+
+  /// Hook invoked after device-INTERNAL activity that mutates the control
+  /// structure outside any guest I/O round (e.g. host-side frame delivery
+  /// on a NIC). Guest I/O is the paper's threat surface; internal activity
+  /// is trusted, but a deployed ES-Checker must resynchronize its shadow
+  /// state afterwards — pipeline::deploy installs exactly that.
+  void set_internal_activity_hook(std::function<void()> hook) {
+    internal_activity_hook_ = std::move(hook);
+  }
+
+  /// Backend cost model for the performance benchmarks: each backing-store
+  /// / wire operation busy-waits this long, standing in for the host
+  /// syscalls (preadv on the disk image, tap writes) the real device's
+  /// backend pays. Zero (the default) disables it. See DESIGN.md §1.
+  void set_backend_latency_ns(uint64_t ns) { backend_latency_ns_ = ns; }
+  [[nodiscard]] uint64_t backend_latency_ns() const {
+    return backend_latency_ns_;
+  }
+
+ protected:
+  virtual void reset_device() = 0;
+
+  void record_incident(const Incident& incident) {
+    incidents_.push_back(incident);
+  }
+
+  /// Pays one backend operation's worth of the latency model.
+  void backend_delay() const;
+
+  /// Concrete devices call this after internal (non-guest-I/O) rounds.
+  void notify_internal_activity() {
+    if (internal_activity_hook_) {
+      internal_activity_hook_();
+    }
+  }
+
+ private:
+  const DeviceProgram* program_;
+  StateArena arena_;
+  InstrumentationContext ictx_;
+  IrqLine irq_;
+  IncidentLog incidents_;
+  bool halted_ = false;
+  uint64_t backend_latency_ns_ = 0;
+  std::function<void()> internal_activity_hook_;
+};
+
+}  // namespace sedspec

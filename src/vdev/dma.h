@@ -1,0 +1,48 @@
+// DMA engine.
+//
+// Thin accounting layer between a device and guest memory: all bulk
+// transfers go through it so benchmarks can report DMA byte counts and
+// tests can assert on transfer activity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "vdev/memory.h"
+
+namespace sedspec {
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(GuestMemory* mem) : mem_(mem) {}
+
+  /// Guest memory -> device buffer. Returns false on an out-of-range guest
+  /// address (the span is zero-filled).
+  bool from_guest(uint64_t addr, std::span<uint8_t> out) {
+    bytes_read_ += out.size();
+    ++transfers_;
+    return mem_->read(addr, out);
+  }
+
+  /// Device buffer -> guest memory. Returns false on out-of-range address.
+  bool to_guest(uint64_t addr, std::span<const uint8_t> data) {
+    bytes_written_ += data.size();
+    ++transfers_;
+    return mem_->write(addr, data);
+  }
+
+  [[nodiscard]] GuestMemory& memory() { return *mem_; }
+
+  [[nodiscard]] uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] uint64_t transfer_count() const { return transfers_; }
+  void reset_stats() { bytes_read_ = bytes_written_ = transfers_ = 0; }
+
+ private:
+  GuestMemory* mem_;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t transfers_ = 0;
+};
+
+}  // namespace sedspec

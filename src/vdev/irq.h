@@ -1,0 +1,48 @@
+// Interrupt line.
+//
+// Devices raise interrupts toward the guest through an IrqLine; the guest
+// driver models attach a sink to observe them. Raise counts feed the
+// benchmark harnesses (interrupt rate) and the driver completion logic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sedspec {
+
+class IrqLine {
+ public:
+  using Sink = std::function<void(bool level)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void raise() { set(true); }
+  void lower() { set(false); }
+
+  void set(bool level) {
+    if (level && !level_) {
+      ++raise_count_;
+    }
+    level_ = level;
+    if (sink_) {
+      sink_(level);
+    }
+  }
+
+  /// Edge-triggered pulse (raise then lower).
+  void pulse() {
+    raise();
+    lower();
+  }
+
+  [[nodiscard]] bool level() const { return level_; }
+  [[nodiscard]] uint64_t raise_count() const { return raise_count_; }
+  void reset_stats() { raise_count_ = 0; }
+
+ private:
+  Sink sink_;
+  bool level_ = false;
+  uint64_t raise_count_ = 0;
+};
+
+}  // namespace sedspec

@@ -1,0 +1,35 @@
+#include "vdev/memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sedspec {
+
+bool GuestMemory::read(uint64_t addr, std::span<uint8_t> out) const {
+  if (addr > ram_.size() || out.size() > ram_.size() - addr) {
+    std::fill(out.begin(), out.end(), 0);
+    ++faults_;
+    return false;
+  }
+  std::memcpy(out.data(), ram_.data() + addr, out.size());
+  return true;
+}
+
+bool GuestMemory::write(uint64_t addr, std::span<const uint8_t> data) {
+  if (addr > ram_.size() || data.size() > ram_.size() - addr) {
+    ++faults_;
+    return false;
+  }
+  std::memcpy(ram_.data() + addr, data.data(), data.size());
+  return true;
+}
+
+void GuestMemory::fill(uint64_t addr, size_t len, uint8_t byte) {
+  if (addr > ram_.size() || len > ram_.size() - addr) {
+    ++faults_;
+    return;
+  }
+  std::memset(ram_.data() + addr, byte, len);
+}
+
+}  // namespace sedspec

@@ -1,0 +1,55 @@
+// Sanity tests for the measurement harnesses (no latency model: these only
+// validate plumbing, not the figures).
+#include <gtest/gtest.h>
+
+#include "benchsim/perf.h"
+#include "guest/workload.h"
+#include "statelog/statelog.h"
+
+namespace sedspec {
+namespace {
+
+TEST(Benchsim, StorageMeasurementProducesSaneNumbers) {
+  auto wl = guest::make_workload("scsi-esp");
+  const auto point = benchsim::measure_storage(*wl, 4096, 16384);
+  EXPECT_EQ(point.block_bytes, 4096u);
+  EXPECT_GT(point.write_mbps, 0.0);
+  EXPECT_GT(point.read_mbps, 0.0);
+  EXPECT_GT(point.write_latency_us, 0.0);
+  EXPECT_GT(point.read_latency_us, 0.0);
+}
+
+TEST(Benchsim, StorageMeasurementRejectsNonStorage) {
+  auto wl = guest::make_workload("pcnet");
+  EXPECT_THROW((void)benchsim::measure_storage(*wl, 4096, 16384),
+               std::logic_error);
+}
+
+TEST(Benchsim, PcnetBandwidthAndPingProduceSaneNumbers) {
+  const auto bw = benchsim::measure_pcnet_bandwidth(false, 50);
+  EXPECT_GT(bw.tcp_up_mbps, 0.0);
+  EXPECT_GT(bw.tcp_down_mbps, 0.0);
+  EXPECT_GT(bw.udp_up_mbps, 0.0);
+  EXPECT_GT(bw.udp_down_mbps, 0.0);
+  EXPECT_GT(benchsim::measure_pcnet_ping(false, 10), 0.0);
+}
+
+TEST(TextDumps, SpecAndLogRenderWithoutBlowingUp) {
+  auto wl = guest::make_workload("fdc");
+  const auto collected =
+      pipeline::collect(wl->device(), [&] { wl->training(); });
+  const auto cfg = pipeline::construct(wl->device(), collected);
+
+  const std::string spec_text = cfg.to_text(wl->device().program());
+  EXPECT_NE(spec_text.find("ES-CFG for fdc"), std::string::npos);
+  EXPECT_NE(spec_text.find("command access table"), std::string::npos);
+  EXPECT_NE(spec_text.find("data_pos"), std::string::npos);
+
+  const std::string log_text =
+      statelog::to_text(collected.log, wl->device().program());
+  EXPECT_NE(log_text.find("round"), std::string::npos);
+  EXPECT_NE(log_text.find("branch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sedspec

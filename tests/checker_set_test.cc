@@ -1,0 +1,105 @@
+// CheckerSet: one VM, several protected devices on the same bus. A
+// compromise attempt against one device is contained without disturbing
+// the others.
+#include <gtest/gtest.h>
+
+#include "checker/checker_set.h"
+#include "devices/esp_scsi.h"
+#include "devices/fdc.h"
+#include "guest/esp_driver.h"
+#include "guest/fdc_driver.h"
+#include "sedspec/pipeline.h"
+
+namespace sedspec {
+namespace {
+
+using checker::CheckerSet;
+using devices::EspScsiDevice;
+using devices::FdcDevice;
+
+struct VmEnv {
+  GuestMemory mem{1 << 20};
+  FdcDevice fdc{FdcDevice::Vulns{.cve_2015_3456 = true}};
+  EspScsiDevice esp{&mem};
+  IoBus bus;
+  spec::EsCfg fdc_cfg;
+  spec::EsCfg esp_cfg;
+  CheckerSet set;
+
+  VmEnv() {
+    bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &fdc);
+    bus.map(IoSpace::kPio, EspScsiDevice::kBasePort,
+            EspScsiDevice::kPortSpan, &esp);
+    fdc_cfg = pipeline::build_spec(fdc, [&] {
+      guest::FdcDriver drv(&bus);
+      drv.reset();
+      std::vector<uint8_t> sector(512, 0x42);
+      drv.write_sector(0, 0, 1, sector);
+      std::vector<uint8_t> back(512);
+      drv.read_sector(0, 0, 1, back);
+    });
+    esp_cfg = pipeline::build_spec(esp, [&] {
+      guest::EspDriver drv(&bus, &mem);
+      drv.bus_reset();
+      std::vector<uint8_t> block(512, 0x17);
+      drv.write_blocks(0, 1, block);
+      std::vector<uint8_t> back(512);
+      drv.read_blocks(0, 1, back);
+    });
+    set.attach(fdc_cfg, fdc);
+    set.attach(esp_cfg, esp);
+    bus.set_proxy(&set);
+  }
+};
+
+TEST(CheckerSet, RoutesPerDeviceAndStaysCleanOnBenignTraffic) {
+  VmEnv vm;
+  EXPECT_EQ(vm.set.size(), 2u);
+  guest::FdcDriver fdc_drv(&vm.bus);
+  guest::EspDriver esp_drv(&vm.bus, &vm.mem);
+  std::vector<uint8_t> sector(512, 0x5a);
+  fdc_drv.write_sector(0, 0, 1, sector);
+  std::vector<uint8_t> block(512, 0x3c);
+  esp_drv.write_blocks(0, 1, block);
+  EXPECT_EQ(vm.set.checker_for(vm.fdc)->stats().blocked, 0u);
+  EXPECT_EQ(vm.set.checker_for(vm.esp)->stats().blocked, 0u);
+  EXPECT_GT(vm.set.checker_for(vm.fdc)->stats().rounds, 0u);
+  EXPECT_GT(vm.set.checker_for(vm.esp)->stats().rounds, 0u);
+}
+
+TEST(CheckerSet, CompromiseOfOneDeviceLeavesOthersRunning) {
+  VmEnv vm;
+  guest::FdcDriver fdc_drv(&vm.bus);
+  // Venom against the FDC...
+  fdc_drv.write_fifo(FdcDevice::kCmdDriveSpec);
+  for (int i = 0; i < 700; ++i) {
+    fdc_drv.write_fifo(0x01);
+  }
+  EXPECT_TRUE(vm.fdc.halted());
+  EXPECT_TRUE(vm.fdc.incidents().empty());
+  // ...while the SCSI disk keeps serving the tenant.
+  guest::EspDriver esp_drv(&vm.bus, &vm.mem);
+  std::vector<uint8_t> block(512, 0x77);
+  esp_drv.write_blocks(2, 1, block);
+  std::vector<uint8_t> back(512);
+  esp_drv.read_blocks(2, 1, back);
+  EXPECT_EQ(back, block);
+  EXPECT_FALSE(vm.esp.halted());
+  EXPECT_EQ(vm.set.checker_for(vm.esp)->stats().blocked, 0u);
+}
+
+TEST(CheckerSet, UncheckedDevicePassesThrough) {
+  GuestMemory mem(1 << 20);
+  FdcDevice fdc;
+  IoBus bus;
+  bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &fdc);
+  CheckerSet set;  // empty: nothing attached
+  bus.set_proxy(&set);
+  guest::FdcDriver drv(&bus);
+  drv.reset();
+  EXPECT_EQ(drv.version(), 0x90);
+  EXPECT_EQ(set.checker_for(fdc), nullptr);
+}
+
+}  // namespace
+}  // namespace sedspec

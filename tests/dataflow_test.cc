@@ -1,0 +1,107 @@
+// Unit tests for data-dependency recovery (the angr substitute): local
+// variables with a single parameter-only definition are inlined; natively
+// set, conflicting, or cyclic locals become sync points.
+#include <gtest/gtest.h>
+
+#include "dataflow/dataflow.h"
+
+namespace sedspec {
+namespace {
+
+struct ProgramEnv {
+  StateLayout layout{"S"};
+  ParamId a, b;
+  std::unique_ptr<DeviceProgram> program;
+  LocalId computable, native, conflicting, chained, cyclic;
+
+  ProgramEnv() {
+    a = layout.add_scalar("a", FieldKind::kRegister, IntType::kU32);
+    b = layout.add_scalar("b", FieldKind::kLength, IntType::kU32);
+    program =
+        std::make_unique<DeviceProgram>("test", std::move(layout), 0x1000);
+    computable = program->add_local("computable");
+    native = program->add_local("native");
+    conflicting = program->add_local("conflicting");
+    chained = program->add_local("chained");
+    cyclic = program->add_local("cyclic");
+
+    using namespace eb;
+    const IntType U32 = IntType::kU32;
+    // computable = a - b          (single def, params only -> inline)
+    // chained    = computable + 1 (inline through the chain)
+    // conflicting: two different defs -> sync
+    // cyclic     = cyclic + 1     -> sync
+    // native     : referenced in a guard but never defined -> sync
+    program->add_plain(
+        "defs",
+        {sb::assign_local(computable, sub(param(a, U32), param(b, U32), U32)),
+         sb::assign_local(chained,
+                          add(local(computable, U32), c(1, U32), U32)),
+         sb::assign_local(conflicting, param(a, U32)),
+         sb::assign_local(cyclic, add(local(cyclic, U32), c(1, U32), U32))});
+    program->add_plain("conflict2",
+                       {sb::assign_local(conflicting, param(b, U32))});
+    program->add_conditional("use_native",
+                             gt(local(native, U32), c(0, U32)));
+    program->add_conditional("use_chained",
+                             gt(local(chained, U32), c(0, U32)));
+    program->add_conditional("use_conflicting",
+                             gt(local(conflicting, U32), c(0, U32)));
+  }
+};
+
+TEST(Dataflow, SingleParamOnlyDefIsInlined) {
+  ProgramEnv env;
+  const auto plan = dataflow::analyze_dependencies(*env.program);
+  ASSERT_TRUE(plan.inline_defs.contains(env.computable));
+  EXPECT_FALSE(plan.is_sync(env.computable));
+}
+
+TEST(Dataflow, ChainedDefsInlineTransitively) {
+  ProgramEnv env;
+  const auto plan = dataflow::analyze_dependencies(*env.program);
+  ASSERT_TRUE(plan.inline_defs.contains(env.chained));
+  // The inlined expression must no longer reference any local.
+  EXPECT_TRUE(
+      dataflow::referenced_locals(plan.inline_defs.at(env.chained)).empty());
+}
+
+TEST(Dataflow, NativeLocalIsSyncPoint) {
+  ProgramEnv env;
+  const auto plan = dataflow::analyze_dependencies(*env.program);
+  EXPECT_TRUE(plan.is_sync(env.native));
+}
+
+TEST(Dataflow, ConflictingDefsAreSyncPoints) {
+  ProgramEnv env;
+  const auto plan = dataflow::analyze_dependencies(*env.program);
+  EXPECT_TRUE(plan.is_sync(env.conflicting));
+}
+
+TEST(Dataflow, CyclicDefIsSyncPoint) {
+  ProgramEnv env;
+  const auto plan = dataflow::analyze_dependencies(*env.program);
+  EXPECT_TRUE(plan.is_sync(env.cyclic));
+}
+
+TEST(Dataflow, RewriteSubstitutesInlineDefsOnly) {
+  ProgramEnv env;
+  const auto plan = dataflow::analyze_dependencies(*env.program);
+  using namespace eb;
+  const IntType U32 = IntType::kU32;
+  auto guard = gt(local(env.chained, U32), local(env.native, U32));
+  const ExprRef rewritten = dataflow::rewrite(guard, plan);
+  const auto residual = dataflow::referenced_locals(rewritten);
+  EXPECT_FALSE(residual.contains(env.chained));
+  EXPECT_TRUE(residual.contains(env.native));
+}
+
+TEST(Dataflow, RewriteReturnsSamePointerWhenUnchanged) {
+  ProgramEnv env;
+  const auto plan = dataflow::analyze_dependencies(*env.program);
+  auto expr = eb::param(env.a, IntType::kU32);
+  EXPECT_EQ(dataflow::rewrite(expr, plan), expr);
+}
+
+}  // namespace
+}  // namespace sedspec

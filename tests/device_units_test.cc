@@ -1,0 +1,371 @@
+// Register-level unit tests for the five emulated devices themselves
+// (independent of SEDSpec): reset semantics, register read-back, command
+// protocols, data paths, and interrupt behavior.
+#include <gtest/gtest.h>
+
+#include "devices/ehci.h"
+#include "devices/esp_scsi.h"
+#include "devices/fdc.h"
+#include "devices/pcnet.h"
+#include "devices/sdhci.h"
+#include "guest/ehci_driver.h"
+#include "guest/esp_driver.h"
+#include "guest/fdc_driver.h"
+#include "guest/pcnet_driver.h"
+#include "guest/sdhci_driver.h"
+
+namespace sedspec {
+namespace {
+
+using namespace devices;
+
+// --- FDC ---------------------------------------------------------------
+
+struct FdcEnv {
+  FdcDevice dev;
+  IoBus bus;
+  guest::FdcDriver drv{&bus};
+  FdcEnv() {
+    bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &dev);
+    drv.reset();
+  }
+};
+
+TEST(FdcDeviceUnit, ResetSetsRqm) {
+  FdcEnv env;
+  EXPECT_EQ(env.drv.read_msr() & FdcDevice::kMsrRqm, FdcDevice::kMsrRqm);
+}
+
+TEST(FdcDeviceUnit, VersionCommandReturns82078Id) {
+  FdcEnv env;
+  EXPECT_EQ(env.drv.version(), 0x90);
+}
+
+TEST(FdcDeviceUnit, SeekUpdatesTrackAndRaisesIrq) {
+  FdcEnv env;
+  const uint64_t irqs = env.dev.irq_line().raise_count();
+  env.drv.seek(7);
+  EXPECT_GT(env.dev.irq_line().raise_count(), irqs);
+  const auto [st0, track] = env.drv.sense_interrupt();
+  EXPECT_EQ(st0 & 0x20, 0x20);  // SEEK END
+  EXPECT_EQ(track, 7);
+}
+
+TEST(FdcDeviceUnit, SectorDataPersistsOnDisk) {
+  FdcEnv env;
+  std::vector<uint8_t> sector(512);
+  for (size_t i = 0; i < sector.size(); ++i) {
+    sector[i] = static_cast<uint8_t>(i ^ 0x5a);
+  }
+  env.drv.write_sector(3, 1, 5, sector);
+  // The bytes landed at the CHS offset in the disk image.
+  const size_t offset =
+      ((3 * 2 + 1) * FdcDevice::kSectorsPerTrack + 4) * 512;
+  EXPECT_EQ(env.dev.disk()[offset], sector[0]);
+  EXPECT_EQ(env.dev.disk()[offset + 511], sector[511]);
+  std::vector<uint8_t> back(512);
+  env.drv.read_sector(3, 1, 5, back);
+  EXPECT_EQ(back, sector);
+}
+
+TEST(FdcDeviceUnit, DorResetClearsCommandState) {
+  FdcEnv env;
+  // Begin a command, then yank DOR reset mid-way.
+  env.drv.write_fifo(FdcDevice::kCmdSeek);
+  env.drv.write_dor(0x00);
+  env.drv.write_dor(0x0c);
+  // Controller is back to accepting commands.
+  EXPECT_EQ(env.drv.version(), 0x90);
+}
+
+TEST(FdcDeviceUnit, SenseDriveStatusReflectsDriveSelect) {
+  FdcEnv env;
+  const uint8_t st3 = env.drv.sense_drive_status();
+  EXPECT_EQ(st3 & 0x28, 0x28);  // track0 + two-side bits in our model
+}
+
+// --- SDHCI ---------------------------------------------------------------
+
+struct SdhciEnv {
+  SdhciDevice dev;
+  IoBus bus;
+  guest::SdhciDriver drv{&bus};
+  SdhciEnv() {
+    bus.map(IoSpace::kMmio, SdhciDevice::kBaseAddr, SdhciDevice::kMmioSpan,
+            &dev);
+    drv.init_card();
+  }
+};
+
+TEST(SdhciDeviceUnit, InterruptStatusIsWriteOneToClear) {
+  SdhciEnv env;
+  env.drv.command(SdhciDevice::kCmdSendStatus, 0);
+  // command() already acks; issue one more and inspect manually.
+  env.drv.w32(SdhciDevice::kRegArg, 0);
+  env.drv.w16(SdhciDevice::kRegCmd,
+              static_cast<uint16_t>(SdhciDevice::kCmdSendStatus) << 8);
+  uint16_t sts = env.drv.r16(SdhciDevice::kRegNorIntSts);
+  EXPECT_EQ(sts & SdhciDevice::kIntCmdDone, SdhciDevice::kIntCmdDone);
+  env.drv.w16(SdhciDevice::kRegNorIntSts, SdhciDevice::kIntCmdDone);
+  sts = env.drv.r16(SdhciDevice::kRegNorIntSts);
+  EXPECT_EQ(sts & SdhciDevice::kIntCmdDone, 0);
+}
+
+TEST(SdhciDeviceUnit, MultiBlockTransferAdvancesCardOffset) {
+  SdhciEnv env;
+  std::vector<uint8_t> data(3 * 512);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i / 512 + 1);
+  }
+  env.drv.write_blocks(10, 3, data);
+  EXPECT_EQ(env.dev.card()[10 * 512], 1);
+  EXPECT_EQ(env.dev.card()[11 * 512], 2);
+  EXPECT_EQ(env.dev.card()[12 * 512], 3);
+}
+
+TEST(SdhciDeviceUnit, TransferCompletionSetsXferDone) {
+  SdhciEnv env;
+  std::vector<uint8_t> block(512, 0x3e);
+  env.drv.w16(SdhciDevice::kRegBlkCnt, 1);
+  env.drv.w32(SdhciDevice::kRegArg, 4);
+  env.drv.w16(SdhciDevice::kRegCmd,
+              static_cast<uint16_t>(SdhciDevice::kCmdWriteSingle) << 8);
+  for (uint8_t b : block) {
+    env.drv.w8(SdhciDevice::kRegBData, b);
+  }
+  const uint16_t sts = env.drv.r16(SdhciDevice::kRegNorIntSts);
+  EXPECT_EQ(sts & SdhciDevice::kIntXferDone, SdhciDevice::kIntXferDone);
+}
+
+TEST(SdhciDeviceUnit, PatchedBlksizeIgnoredMidTransfer) {
+  SdhciEnv env;  // patched device
+  env.drv.w16(SdhciDevice::kRegBlkCnt, 1);
+  env.drv.w32(SdhciDevice::kRegArg, 0);
+  env.drv.w16(SdhciDevice::kRegCmd,
+              static_cast<uint16_t>(SdhciDevice::kCmdWriteSingle) << 8);
+  env.drv.w8(SdhciDevice::kRegBData, 1);
+  env.drv.w16(SdhciDevice::kRegBlkSize, 16);  // must be ignored
+  EXPECT_EQ(env.dev.state().get(env.dev.blueprint().blksize), 512u);
+  EXPECT_TRUE(env.dev.incidents().empty());
+}
+
+// --- PCNet ---------------------------------------------------------------
+
+struct PcnetEnv {
+  GuestMemory mem{1 << 20};
+  PcnetDevice dev{&mem};
+  IoBus bus;
+  guest::PcnetDriver drv{&bus, &mem};
+  PcnetEnv() {
+    bus.map(IoSpace::kPio, PcnetDevice::kBasePort, PcnetDevice::kPortSpan,
+            &dev);
+  }
+};
+
+TEST(PcnetDeviceUnit, CsrReadBack) {
+  PcnetEnv env;
+  env.drv.wcsr(15, 0x0004);
+  EXPECT_EQ(env.drv.rcsr(15), 0x0004);
+  env.drv.wcsr(76, 0xfff0);
+  EXPECT_EQ(env.drv.rcsr(76), 0xfff0);
+}
+
+TEST(PcnetDeviceUnit, InitReadsInitBlockAndSetsIdon) {
+  PcnetEnv env;
+  env.drv.setup({.tx_ring_len = 8, .rx_ring_len = 8});
+  const uint16_t csr0 = env.drv.rcsr(0);
+  EXPECT_EQ(csr0 & PcnetDevice::kCsr0Idon, PcnetDevice::kCsr0Idon);
+  EXPECT_EQ(csr0 & PcnetDevice::kCsr0Rxon, PcnetDevice::kCsr0Rxon);
+  EXPECT_EQ(csr0 & PcnetDevice::kCsr0Txon, PcnetDevice::kCsr0Txon);
+}
+
+TEST(PcnetDeviceUnit, WireTransmitLandsInTxLog) {
+  PcnetEnv env;
+  env.drv.setup({.tx_ring_len = 8, .rx_ring_len = 8, .loopback = false});
+  std::vector<uint8_t> frame(100, 0x7c);
+  env.drv.send(frame, 1);
+  ASSERT_EQ(env.dev.tx_log().size(), 1u);
+  EXPECT_EQ(env.dev.tx_log().front(), frame);
+}
+
+TEST(PcnetDeviceUnit, ChainedDescriptorsReassembleFrame) {
+  PcnetEnv env;
+  env.drv.setup({.tx_ring_len = 8, .rx_ring_len = 8, .loopback = false});
+  std::vector<uint8_t> frame(900);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<uint8_t>(i);
+  }
+  env.drv.send(frame, 3);
+  ASSERT_EQ(env.dev.tx_log().size(), 1u);
+  EXPECT_EQ(env.dev.tx_log().front(), frame);
+}
+
+TEST(PcnetDeviceUnit, LoopbackDeliversWithFcs) {
+  PcnetEnv env;
+  env.drv.setup({.tx_ring_len = 8,
+                 .rx_ring_len = 8,
+                 .loopback = true,
+                 .append_fcs = true});
+  std::vector<uint8_t> frame(64, 0x2d);
+  env.drv.send(frame, 1);
+  auto rx = env.drv.poll_rx();
+  ASSERT_TRUE(rx.has_value());
+  EXPECT_EQ(rx->size(), frame.size() + 4);  // +FCS
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), rx->begin()));
+}
+
+TEST(PcnetDeviceUnit, ReceiveWithoutRxonRejected) {
+  PcnetEnv env;  // never initialized/started
+  EXPECT_FALSE(env.dev.receive_frame(std::vector<uint8_t>(64, 1)));
+}
+
+TEST(PcnetDeviceUnit, RxDropWhenNoBuffersSetsMiss) {
+  PcnetEnv env;
+  env.drv.setup({.tx_ring_len = 8, .rx_ring_len = 8, .loopback = false});
+  env.drv.revoke_rx_buffers();
+  EXPECT_FALSE(env.dev.receive_frame(std::vector<uint8_t>(64, 0)));
+  EXPECT_EQ(env.drv.rcsr(0) & PcnetDevice::kCsr0Miss, PcnetDevice::kCsr0Miss);
+}
+
+TEST(PcnetDeviceUnit, SoftResetStops) {
+  PcnetEnv env;
+  env.drv.setup({.tx_ring_len = 8, .rx_ring_len = 8});
+  env.drv.soft_reset();
+  EXPECT_EQ(env.drv.rcsr(0) & PcnetDevice::kCsr0Stop, PcnetDevice::kCsr0Stop);
+}
+
+// --- ESP SCSI ---------------------------------------------------------------
+
+struct EspEnv {
+  GuestMemory mem{1 << 20};
+  EspScsiDevice dev{&mem};
+  IoBus bus;
+  guest::EspDriver drv{&bus, &mem};
+  EspEnv() {
+    bus.map(IoSpace::kPio, EspScsiDevice::kBasePort, EspScsiDevice::kPortSpan,
+            &dev);
+    drv.bus_reset();
+  }
+};
+
+TEST(EspDeviceUnit, InquiryReturnsCannedIdentity) {
+  EspEnv env;
+  const auto data = env.drv.inquiry(true);
+  ASSERT_EQ(data.size(), 36u);
+  EXPECT_EQ(data[0], 0);  // direct-access device
+  const std::string vendor(reinterpret_cast<const char*>(&data[8]), 7);
+  EXPECT_EQ(vendor, "SEDSPEC");
+}
+
+TEST(EspDeviceUnit, FifoReadDrainsWrites) {
+  EspEnv env;
+  env.drv.flush_fifo();
+  env.drv.out8(EspScsiDevice::kRegFifo, 0x11);
+  env.drv.out8(EspScsiDevice::kRegFifo, 0x22);
+  EXPECT_EQ(env.drv.in8(EspScsiDevice::kRegFifo), 0x11);
+  EXPECT_EQ(env.drv.in8(EspScsiDevice::kRegFifo), 0x22);
+  EXPECT_EQ(env.drv.in8(EspScsiDevice::kRegFifo), 0);  // empty
+}
+
+TEST(EspDeviceUnit, InterruptRegisterClearsOnRead) {
+  EspEnv env;
+  env.drv.test_unit_ready(true);
+  env.drv.out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdBusReset);
+  EXPECT_NE(env.drv.in8(EspScsiDevice::kRegIntr), 0);
+  EXPECT_EQ(env.drv.in8(EspScsiDevice::kRegIntr), 0);
+}
+
+TEST(EspDeviceUnit, Read6WriteBoundaryAddressing) {
+  EspEnv env;
+  std::vector<uint8_t> data(2 * 512);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 3);
+  }
+  env.drv.write_blocks(100, 2, data);
+  EXPECT_EQ(env.dev.disk()[100 * 512], data[0]);
+  EXPECT_EQ(env.dev.disk()[101 * 512 + 511], data[1023]);
+  std::vector<uint8_t> back(data.size());
+  env.drv.read_blocks(100, 2, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(EspDeviceUnit, PatchedFifoBoundStopsFlood) {
+  EspEnv env;  // patched
+  env.drv.flush_fifo();
+  for (int i = 0; i < 40; ++i) {
+    env.drv.out8(EspScsiDevice::kRegFifo, 0x41);
+  }
+  EXPECT_TRUE(env.dev.incidents().empty());
+  EXPECT_EQ(env.dev.state().get(env.dev.blueprint().ti_wptr),
+            EspScsiDevice::kTiBufSize);
+}
+
+// --- USB EHCI ---------------------------------------------------------------
+
+struct EhciEnv {
+  GuestMemory mem{1 << 20};
+  EhciDevice dev{&mem};
+  IoBus bus;
+  guest::EhciDriver drv{&bus, &mem};
+  EhciEnv() {
+    bus.map(IoSpace::kMmio, EhciDevice::kBaseAddr, EhciDevice::kMmioSpan,
+            &dev);
+    drv.start_controller();
+  }
+};
+
+TEST(EhciDeviceUnit, RunClearsHalted) {
+  EhciEnv env;
+  EXPECT_EQ(env.drv.r32(EhciDevice::kRegUsbSts) & 0x1000u, 0u);
+  env.drv.w32(EhciDevice::kRegUsbCmd, 0);  // stop
+  EXPECT_EQ(env.drv.r32(EhciDevice::kRegUsbSts) & 0x1000u, 0x1000u);
+}
+
+TEST(EhciDeviceUnit, PortStatusShowsConnectedDevice) {
+  EhciEnv env;
+  EXPECT_EQ(env.drv.r32(EhciDevice::kRegPortSc) & 0x1u, 0x1u);  // connected
+}
+
+TEST(EhciDeviceUnit, ControlTransferRoundTrip) {
+  EhciEnv env;
+  std::vector<uint8_t> block(512);
+  for (size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<uint8_t>(255 - (i & 0xff));
+  }
+  env.drv.write_block(20, block);
+  EXPECT_EQ(env.dev.storage()[20 * 512], block[0]);
+  std::vector<uint8_t> back(512);
+  env.drv.read_block(20, back);
+  EXPECT_EQ(back, block);
+}
+
+TEST(EhciDeviceUnit, ShortInPacketClampsToRemaining) {
+  EhciEnv env;
+  std::vector<uint8_t> data(64, 0x6f);
+  env.drv.write_block_short(2, data);
+  std::vector<uint8_t> back(64);
+  env.drv.read_block_short(2, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(EhciDeviceUnit, PatchedSetupStallsOversizedWlength) {
+  EhciEnv env;  // patched
+  env.drv.setup_packet(0x40, 0xa0, 0, 0xf000);
+  // Stalled: no data stage accepted.
+  EXPECT_EQ(env.dev.state().get(env.dev.blueprint().setup_state), 0u);
+  EXPECT_EQ(static_cast<int32_t>(
+                env.dev.state().get(env.dev.blueprint().setup_len)),
+            0);
+  env.drv.token(EhciDevice::kPidOut, 4096, 0x10000);
+  EXPECT_TRUE(env.dev.incidents().empty());
+}
+
+TEST(EhciDeviceUnit, TokenCompletionSetsUsbint) {
+  EhciEnv env;
+  const uint64_t irqs = env.dev.irq_line().raise_count();
+  env.drv.interrupt_poll();
+  EXPECT_GT(env.dev.irq_line().raise_count(), irqs);
+}
+
+}  // namespace
+}  // namespace sedspec

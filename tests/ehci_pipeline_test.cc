@@ -1,0 +1,198 @@
+// USB EHCI end-to-end: benign control transfers clean; CVE-2020-14364
+// detected by the parameter check (both out-of-bounds instances) and the
+// indirect-jump check (clobbered interrupt pointer), not the conditional
+// check — matching Table III. CVE-2016-1568 (use-after-free with no device
+// state transition) is NOT detected: the paper's known miss.
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "devices/ehci.h"
+#include "guest/ehci_driver.h"
+#include "sedspec/pipeline.h"
+#include "vdev/bus.h"
+#include "vdev/memory.h"
+
+namespace sedspec {
+namespace {
+
+using checker::CheckerConfig;
+using checker::EsChecker;
+using checker::Mode;
+using checker::Strategy;
+using devices::EhciDevice;
+using guest::EhciDriver;
+
+void benign_training(EhciDriver& drv) {
+  drv.start_controller();
+  drv.interrupt_poll();
+  std::vector<uint8_t> block(EhciDevice::kBlockSize);
+  for (uint16_t b = 0; b < 4; ++b) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<uint8_t>(b * 7 + i);
+    }
+    drv.write_block(b, block);
+    std::vector<uint8_t> back(EhciDevice::kBlockSize);
+    drv.read_block(b, back);
+    ASSERT_EQ(back, block);
+  }
+  // Multi-chunk transfers and clamped (short) variants.
+  std::vector<uint8_t> big(2048, 0x5b);
+  drv.write_block(8, big, /*chunk=*/512);
+  std::vector<uint8_t> big_back(2048);
+  drv.read_block(8, big_back, /*chunk=*/256);
+  ASSERT_EQ(big_back, big);
+  std::vector<uint8_t> small(128, 0x21);
+  drv.write_block_short(12, small);
+  std::vector<uint8_t> small_back(128);
+  drv.read_block_short(12, small_back);
+  ASSERT_EQ(small_back, small);
+  drv.interrupt_poll();
+  drv.interrupt_poll();
+}
+
+struct Harness {
+  GuestMemory mem{1 << 20};
+  EhciDevice device;
+  IoBus bus;
+  EhciDriver driver;
+  spec::EsCfg cfg;
+  std::unique_ptr<EsChecker> checker;
+
+  explicit Harness(EhciDevice::Vulns vulns = {}, CheckerConfig config = {})
+      : device(&mem, vulns), driver(&bus, &mem) {
+    bus.map(IoSpace::kMmio, EhciDevice::kBaseAddr, EhciDevice::kMmioSpan,
+            &device);
+    cfg = pipeline::build_spec(device, [this] {
+      EhciDriver train(&bus, &mem);
+      benign_training(train);
+    });
+    checker = pipeline::deploy(cfg, device, bus, config);
+  }
+};
+
+TEST(EhciPipeline, BenignWorkloadIsClean) {
+  Harness h;
+  benign_training(h.driver);
+  EXPECT_EQ(h.checker->stats().blocked, 0u);
+  EXPECT_EQ(h.checker->stats().warnings, 0u);
+  EXPECT_TRUE(h.device.incidents().empty());
+}
+
+// --- CVE-2020-14364 -------------------------------------------------------
+
+// SETUP with wLength far past sizeof(data_buf), then OUT stages that march
+// setup_index through and past the buffer.
+void exploit_14364(EhciDriver& drv, int out_tokens) {
+  drv.start_controller();
+  drv.setup_packet(0x40, 0xa0, 0, 0xf000);  // wLength = 61440 > 4096
+  for (int i = 0; i < out_tokens; ++i) {
+    drv.token(EhciDevice::kPidOut, 4096, 0x10000);
+  }
+}
+
+TEST(EhciPipeline, Cve14364CorruptsUnprotectedDevice) {
+  GuestMemory mem(1 << 20);
+  EhciDevice device(&mem, EhciDevice::Vulns{.cve_2020_14364 = true});
+  IoBus bus;
+  bus.map(IoSpace::kMmio, EhciDevice::kBaseAddr, EhciDevice::kMmioSpan,
+          &device);
+  EhciDriver drv(&bus, &mem);
+  exploit_14364(drv, 2);
+  EXPECT_TRUE(device.has_incident(IncidentKind::kOobWrite) ||
+              device.has_incident(IncidentKind::kStructEscape));
+  EXPECT_TRUE(device.has_incident(IncidentKind::kHijackedCall));
+}
+
+TEST(EhciPipeline, Cve14364DetectedByParameterCheckAlone) {
+  CheckerConfig config;
+  config.enable_indirect = false;
+  config.enable_conditional = false;
+  Harness h(EhciDevice::Vulns{.cve_2020_14364 = true}, config);
+  exploit_14364(h.driver, 2);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_TRUE(h.device.halted());
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kOobWrite));
+}
+
+TEST(EhciPipeline, Cve14364DetectedByIndirectCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_conditional = false;
+  Harness h(EhciDevice::Vulns{.cve_2020_14364 = true}, config);
+  exploit_14364(h.driver, 2);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[1], 0u);
+  EXPECT_TRUE(h.device.halted());
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kHijackedCall));
+}
+
+TEST(EhciPipeline, Cve14364NotDetectedByConditionalCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_indirect = false;
+  Harness h(EhciDevice::Vulns{.cve_2020_14364 = true}, config);
+  exploit_14364(h.driver, 2);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[2], 0u);
+  EXPECT_FALSE(h.device.halted());
+}
+
+TEST(EhciPipeline, Cve14364BothInstancesSeenInMonitorMode) {
+  // Monitor mode lets the exploit run end to end; the parameter check must
+  // report both out-of-bounds instances the paper describes: the overflow
+  // past data_buf, and the later access through the corrupted (negative)
+  // setup_index.
+  CheckerConfig config;
+  config.monitor_only = true;
+  Harness h(EhciDevice::Vulns{.cve_2020_14364 = true}, config);
+  exploit_14364(h.driver, 2);
+  const uint64_t first = h.checker->stats().violations_by_strategy[0];
+  EXPECT_GT(first, 0u);
+  // The device executed the overflow: setup_index is now attacker garbage
+  // (zeros from our payload -> 0). Push another OUT through the corrupted
+  // state: index arithmetic now runs on corrupted fields.
+  h.driver.token(EhciDevice::kPidOut, 64, 0x10000);
+  EXPECT_TRUE(h.device.has_incident(IncidentKind::kOobWrite) ||
+              h.device.has_incident(IncidentKind::kStructEscape));
+}
+
+// --- CVE-2016-1568: the paper's known miss ---------------------------------
+
+void exploit_1568(EhciDriver& drv) {
+  drv.start_controller();
+  // Start a read transfer, then send a premature status stage: the packet
+  // is freed early. The subsequent idle poll touches the freed packet.
+  drv.setup_packet(0x80 | 0x40, 0xa1, 0, 256);
+  drv.status_out();  // premature: no data consumed
+  drv.interrupt_poll();
+}
+
+TEST(EhciPipeline, Cve1568TriggersUafOnUnprotectedDevice) {
+  GuestMemory mem(1 << 20);
+  EhciDevice device(&mem, EhciDevice::Vulns{.cve_2016_1568 = true});
+  IoBus bus;
+  bus.map(IoSpace::kMmio, EhciDevice::kBaseAddr, EhciDevice::kMmioSpan,
+          &device);
+  EhciDriver drv(&bus, &mem);
+  exploit_1568(drv);
+  EXPECT_TRUE(device.has_incident(IncidentKind::kUseAfterFree));
+}
+
+TEST(EhciPipeline, Cve1568IsMissedBySedspec) {
+  // All three strategies enabled: SEDSpec still cannot see the UAF because
+  // no device-state transition is involved (paper §VII-B).
+  Harness h(EhciDevice::Vulns{.cve_2016_1568 = true});
+  exploit_1568(h.driver);
+  EXPECT_EQ(h.checker->stats().blocked, 0u);
+  EXPECT_EQ(h.checker->stats().warnings, 0u);
+  EXPECT_FALSE(h.device.halted());
+  // ...but the damage is real.
+  EXPECT_TRUE(h.device.has_incident(IncidentKind::kUseAfterFree));
+}
+
+TEST(EhciPipeline, PatchedDeviceHasNoUaf) {
+  Harness h;  // no vulnerabilities
+  exploit_1568(h.driver);
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kUseAfterFree));
+}
+
+}  // namespace
+}  // namespace sedspec

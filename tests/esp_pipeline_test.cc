@@ -1,0 +1,185 @@
+// ESP SCSI end-to-end: benign traffic clean; CVE-2015-5158 and
+// CVE-2016-4439 detected by the conditional-jump check only (Table III) —
+// the parameter check is blind because the offending lengths/pointers reach
+// the buffers through non-state temporaries, and the corruption never
+// touches the interrupt pointer (it sits before the buffers, as in the real
+// ESPState layout).
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "devices/esp_scsi.h"
+#include "guest/esp_driver.h"
+#include "sedspec/pipeline.h"
+#include "vdev/bus.h"
+#include "vdev/memory.h"
+
+namespace sedspec {
+namespace {
+
+using checker::CheckerConfig;
+using checker::EsChecker;
+using checker::Mode;
+using devices::EspScsiDevice;
+using guest::EspDriver;
+
+void benign_training(EspDriver& drv) {
+  drv.bus_reset();
+  drv.test_unit_ready(false);
+  drv.test_unit_ready(true);
+  auto inq = drv.inquiry(false);
+  ASSERT_EQ(inq.size(), 36u);
+  (void)drv.inquiry(true);
+  (void)drv.request_sense();
+  std::vector<uint8_t> block(EspScsiDevice::kBlockSize);
+  for (uint32_t lba = 0; lba < 4; ++lba) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<uint8_t>(lba * 5 + i);
+    }
+    drv.write_blocks(lba, 1, block);
+    std::vector<uint8_t> back(EspScsiDevice::kBlockSize);
+    drv.read_blocks(lba, 1, back);
+    ASSERT_EQ(back, block);
+  }
+  std::vector<uint8_t> multi(4 * EspScsiDevice::kBlockSize, 0x3c);
+  drv.write_blocks(8, 4, multi);
+  std::vector<uint8_t> multi_back(multi.size());
+  drv.read_blocks(8, 4, multi_back);
+  ASSERT_EQ(multi_back, multi);
+}
+
+struct Harness {
+  GuestMemory mem{1 << 20};
+  EspScsiDevice device;
+  IoBus bus;
+  EspDriver driver;
+  spec::EsCfg cfg;
+  std::unique_ptr<EsChecker> checker;
+
+  explicit Harness(EspScsiDevice::Vulns vulns = {}, CheckerConfig config = {})
+      : device(&mem, vulns), driver(&bus, &mem) {
+    bus.map(IoSpace::kPio, EspScsiDevice::kBasePort, EspScsiDevice::kPortSpan,
+            &device);
+    cfg = pipeline::build_spec(device, [this] {
+      EspDriver train(&bus, &mem);
+      benign_training(train);
+    });
+    checker = pipeline::deploy(cfg, device, bus, config);
+  }
+};
+
+TEST(EspPipeline, BenignWorkloadIsClean) {
+  Harness h;
+  benign_training(h.driver);
+  EXPECT_EQ(h.checker->stats().blocked, 0u);
+  EXPECT_EQ(h.checker->stats().warnings, 0u);
+  EXPECT_TRUE(h.device.incidents().empty());
+}
+
+// --- CVE-2015-5158: oversized DMA CDB fetch -------------------------------
+
+void exploit_5158(EspDriver& drv, GuestMemory& mem) {
+  drv.bus_reset();
+  // Vendor-specific opcode 0xff at the CDB address; huge transfer count.
+  mem.w8(0x8000, 0xff);
+  drv.set_dma_address(0x8000);
+  drv.set_transfer_count(0xffff);
+  drv.out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdSelAtnDma);
+}
+
+TEST(EspPipeline, Cve5158CorruptsUnprotectedDevice) {
+  GuestMemory mem(1 << 20);
+  EspScsiDevice device(&mem, EspScsiDevice::Vulns{.cve_2015_5158 = true});
+  IoBus bus;
+  bus.map(IoSpace::kPio, EspScsiDevice::kBasePort, EspScsiDevice::kPortSpan,
+          &device);
+  EspDriver drv(&bus, &mem);
+  exploit_5158(drv, mem);
+  EXPECT_TRUE(device.has_incident(IncidentKind::kStructEscape) ||
+              device.has_incident(IncidentKind::kOobWrite));
+}
+
+TEST(EspPipeline, Cve5158DetectedByConditionalCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_indirect = false;
+  Harness h(EspScsiDevice::Vulns{.cve_2015_5158 = true}, config);
+  exploit_5158(h.driver, h.mem);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[2], 0u);
+  EXPECT_TRUE(h.device.halted());
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kStructEscape));
+}
+
+TEST(EspPipeline, Cve5158NotDetectedByOtherStrategies) {
+  CheckerConfig config;
+  config.enable_conditional = false;
+  Harness h(EspScsiDevice::Vulns{.cve_2015_5158 = true}, config);
+  exploit_5158(h.driver, h.mem);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[1], 0u);
+  EXPECT_FALSE(h.device.halted());
+  EXPECT_TRUE(h.device.has_incident(IncidentKind::kStructEscape) ||
+              h.device.has_incident(IncidentKind::kOobWrite));
+}
+
+// --- CVE-2016-4439: FIFO flood past ti_buf --------------------------------
+
+void exploit_4439(EspDriver& drv) {
+  drv.bus_reset();
+  drv.flush_fifo();
+  for (int i = 0; i < 24; ++i) {
+    drv.out8(EspScsiDevice::kRegFifo, 0x41);
+  }
+  // The public PoC then kicks a bare TRANSFER INFO to abuse the corrupted
+  // transfer state — a command no benign driver issues.
+  drv.out8(EspScsiDevice::kRegCmd, EspScsiDevice::kCmdTi);
+}
+
+TEST(EspPipeline, Cve4439CorruptsUnprotectedDevice) {
+  GuestMemory mem(1 << 20);
+  EspScsiDevice device(&mem, EspScsiDevice::Vulns{.cve_2016_4439 = true});
+  IoBus bus;
+  bus.map(IoSpace::kPio, EspScsiDevice::kBasePort, EspScsiDevice::kPortSpan,
+          &device);
+  EspDriver drv(&bus, &mem);
+  exploit_4439(drv);
+  EXPECT_TRUE(device.has_incident(IncidentKind::kOobWrite));
+}
+
+TEST(EspPipeline, Cve4439DetectedByConditionalCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_indirect = false;
+  Harness h(EspScsiDevice::Vulns{.cve_2016_4439 = true}, config);
+  exploit_4439(h.driver);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[2], 0u);
+  EXPECT_TRUE(h.device.halted());
+}
+
+TEST(EspPipeline, Cve4439NotDetectedByOtherStrategies) {
+  CheckerConfig config;
+  config.enable_conditional = false;
+  Harness h(EspScsiDevice::Vulns{.cve_2016_4439 = true}, config);
+  exploit_4439(h.driver);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[1], 0u);
+  EXPECT_FALSE(h.device.halted());
+  EXPECT_TRUE(h.device.has_incident(IncidentKind::kOobWrite));
+}
+
+TEST(EspPipeline, RareCommandIsAFalsePositive) {
+  CheckerConfig config;
+  config.mode = Mode::kEnhancement;
+  Harness h({}, config);
+  h.driver.set_atn();  // legal controller command, untrained
+  EXPECT_GT(h.checker->stats().warnings, 0u);
+  EXPECT_FALSE(h.device.halted());
+  // Still functional.
+  std::vector<uint8_t> block(EspScsiDevice::kBlockSize, 0x11);
+  h.driver.write_blocks(2, 1, block);
+  std::vector<uint8_t> back(EspScsiDevice::kBlockSize);
+  h.driver.read_blocks(2, 1, back);
+  EXPECT_EQ(back, block);
+}
+
+}  // namespace
+}  // namespace sedspec

@@ -1,0 +1,171 @@
+// Tests for the paper's §VIII extension features:
+//  - specification merging (the false-positive remedy: "distributing
+//    SEDSpec among device developers and testers"),
+//  - rollback recovery ("using rollback to restore the ... state to a
+//    previous point before the exploitation"),
+//  - alert severity classification per check strategy.
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "devices/fdc.h"
+#include "guest/fdc_driver.h"
+#include "sedspec/pipeline.h"
+#include "spec/diff.h"
+#include "spec/merge.h"
+#include "vdev/bus.h"
+
+namespace sedspec {
+namespace {
+
+using checker::CheckerConfig;
+using checker::Mode;
+using checker::Severity;
+using checker::Strategy;
+using devices::FdcDevice;
+using guest::FdcDriver;
+
+void base_training(IoBus& bus) {
+  FdcDriver drv(&bus);
+  drv.reset();
+  drv.specify();
+  drv.recalibrate();
+  std::vector<uint8_t> sector(512, 0x42);
+  drv.write_sector(0, 0, 1, sector);
+  std::vector<uint8_t> back(512);
+  drv.read_sector(0, 0, 1, back);
+}
+
+TEST(SpecMerge, UnionRemovesFalsePositives) {
+  FdcDevice device;
+  IoBus bus;
+  bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &device);
+
+  // Site A (a cloud operator) trains the common mix only.
+  spec::EsCfg site_a = pipeline::build_spec(device, [&] { base_training(bus); });
+  // Site B (the device's test team) also exercises the rare commands.
+  spec::EsCfg site_b = pipeline::build_spec(device, [&] {
+    base_training(bus);
+    FdcDriver drv(&bus);
+    (void)drv.read_id();
+    (void)drv.dumpreg();
+  });
+
+  // Under site A's spec alone, READ ID is a false positive.
+  {
+    CheckerConfig config;
+    config.mode = Mode::kEnhancement;
+    device.reset();
+    auto checker = pipeline::deploy(site_a, device, bus, config);
+    FdcDriver drv(&bus);
+    (void)drv.read_id();
+    EXPECT_GT(checker->stats().warnings, 0u);
+    bus.set_proxy(nullptr);
+  }
+
+  // The merged specification accepts both sites' behaviors.
+  const spec::EsCfg merged = spec::merge(site_a, site_b);
+  EXPECT_GE(merged.commands.size(), site_a.commands.size());
+  EXPECT_GE(merged.blocks.size(), site_a.blocks.size());
+  {
+    CheckerConfig config;
+    config.mode = Mode::kEnhancement;
+    device.reset();
+    auto checker = pipeline::deploy(merged, device, bus, config);
+    FdcDriver drv(&bus);
+    (void)drv.read_id();
+    (void)drv.dumpreg();
+    std::vector<uint8_t> sector(512, 0x17);
+    drv.write_sector(1, 0, 2, sector);
+    EXPECT_EQ(checker->stats().warnings, 0u);
+    EXPECT_EQ(checker->stats().blocked, 0u);
+    bus.set_proxy(nullptr);
+  }
+}
+
+TEST(SpecMerge, MergeIsIdempotentOnEqualSpecs) {
+  FdcDevice device;
+  IoBus bus;
+  bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &device);
+  spec::EsCfg cfg = pipeline::build_spec(device, [&] { base_training(bus); });
+  const spec::EsCfg merged = spec::merge(cfg, cfg);
+  EXPECT_EQ(merged.blocks.size(), cfg.blocks.size());
+  EXPECT_EQ(merged.entry_dispatch.size(), cfg.entry_dispatch.size());
+  EXPECT_EQ(spec::edge_keys(merged), spec::edge_keys(cfg));
+}
+
+TEST(SpecDiff, ReportsWhatTheOtherCorpusAdds) {
+  FdcDevice device;
+  IoBus bus;
+  bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &device);
+  spec::EsCfg site_a = pipeline::build_spec(device, [&] { base_training(bus); });
+  spec::EsCfg site_b = pipeline::build_spec(device, [&] {
+    base_training(bus);
+    FdcDriver drv(&bus);
+    (void)drv.read_id();
+  });
+  const spec::SpecDiff d = spec::diff(site_a, site_b);
+  EXPECT_TRUE(d.only_a.empty());  // b is a strict superset
+  EXPECT_FALSE(d.only_b.empty());
+  EXPECT_GT(d.common, 0u);
+  EXPECT_FALSE(d.identical());
+  EXPECT_NE(spec::to_text(d).find("+B"), std::string::npos);
+
+  // Merging makes the diff one-sided-empty against both inputs.
+  const spec::EsCfg merged = spec::merge(site_a, site_b);
+  EXPECT_TRUE(spec::diff(site_b, merged).only_a.empty());
+  EXPECT_TRUE(spec::diff(merged, site_b).only_b.empty());
+  EXPECT_TRUE(spec::diff(site_a, site_a).identical());
+}
+
+TEST(SpecMerge, DifferentDevicesRejected) {
+  FdcDevice device;
+  IoBus bus;
+  bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &device);
+  spec::EsCfg cfg = pipeline::build_spec(device, [&] { base_training(bus); });
+  spec::EsCfg other = cfg;
+  other.device_name = "not-fdc";
+  EXPECT_THROW((void)spec::merge(cfg, other), spec::BuildError);
+}
+
+TEST(RollbackRecovery, VenomRolledBackDeviceStaysAvailable) {
+  FdcDevice device(FdcDevice::Vulns{.cve_2015_3456 = true});
+  IoBus bus;
+  bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &device);
+  spec::EsCfg cfg = pipeline::build_spec(device, [&] { base_training(bus); });
+  CheckerConfig config;
+  config.rollback_on_violation = true;
+  auto checker = pipeline::deploy(cfg, device, bus, config);
+
+  FdcDriver drv(&bus);
+  drv.reset();
+  // Venom attempt: blocked and rolled back, not halted.
+  drv.write_fifo(FdcDevice::kCmdDriveSpec);
+  for (int i = 0; i < 700; ++i) {
+    drv.write_fifo(0x01);
+  }
+  EXPECT_GT(checker->stats().blocked, 0u);
+  EXPECT_GT(checker->stats().rollbacks, 0u);
+  EXPECT_FALSE(device.halted());
+  EXPECT_TRUE(device.incidents().empty());
+
+  // The device is still fully functional for the benign tenant.
+  std::vector<uint8_t> sector(512, 0x5a);
+  drv.write_sector(0, 0, 3, sector);
+  std::vector<uint8_t> back(512);
+  drv.read_sector(0, 0, 3, back);
+  EXPECT_EQ(back, sector);
+}
+
+TEST(Severity, StrategiesMapToPaperAlertLevels) {
+  EXPECT_EQ(checker::severity_of(Strategy::kParameter), Severity::kCritical);
+  EXPECT_EQ(checker::severity_of(Strategy::kIndirectJump), Severity::kHigh);
+  EXPECT_EQ(checker::severity_of(Strategy::kConditionalJump),
+            Severity::kWarning);
+  checker::Violation v;
+  v.strategy = Strategy::kIndirectJump;
+  EXPECT_EQ(v.severity(), Severity::kHigh);
+  EXPECT_EQ(checker::severity_name(Severity::kCritical), "critical");
+}
+
+}  // namespace
+}  // namespace sedspec

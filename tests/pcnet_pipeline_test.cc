@@ -1,0 +1,276 @@
+// PCNet end-to-end: benign traffic (loopback with/without FCS, wire TX/RX,
+// chained descriptors, ring wrap, RX drop) stays clean; the three CVEs are
+// detected by exactly the strategies Table III reports:
+//   CVE-2015-7504 — indirect jump check (parameter check blind: temp ptr)
+//   CVE-2015-7512 — parameter check + indirect jump check
+//   CVE-2016-7909 — conditional jump check (trained loop bound)
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "devices/pcnet.h"
+#include "guest/pcnet_driver.h"
+#include "sedspec/pipeline.h"
+#include "vdev/bus.h"
+#include "vdev/memory.h"
+
+namespace sedspec {
+namespace {
+
+using checker::CheckerConfig;
+using checker::EsChecker;
+using checker::Mode;
+using checker::Strategy;
+using devices::PcnetDevice;
+using guest::PcnetDriver;
+
+std::vector<uint8_t> frame_of(size_t n, uint8_t seed) {
+  std::vector<uint8_t> f(n);
+  for (size_t i = 0; i < n; ++i) {
+    f[i] = static_cast<uint8_t>(seed + i * 3);
+  }
+  return f;
+}
+
+void benign_training(PcnetDriver& drv, PcnetDevice& device) {
+  // Session 1: loopback with FCS appending.
+  drv.setup({.tx_ring_len = 16,
+             .rx_ring_len = 16,
+             .loopback = true,
+             .append_fcs = true});
+  for (int chunks : {1, 2, 3}) {
+    for (size_t size : {60u, 300u, 1514u}) {
+      drv.send(frame_of(size, static_cast<uint8_t>(chunks)), chunks);
+      auto rx = drv.poll_rx();
+      ASSERT_TRUE(rx.has_value());
+      drv.ack_irq();
+    }
+  }
+  // RX drop: no buffers posted.
+  drv.revoke_rx_buffers();
+  drv.send(frame_of(128, 9), 1);
+  drv.ack_irq();
+  drv.post_rx_buffers();
+
+  // Session 2: loopback without FCS, small ring (wrap exercised).
+  drv.setup({.tx_ring_len = 4,
+             .rx_ring_len = 4,
+             .loopback = true,
+             .append_fcs = false});
+  for (int i = 0; i < 10; ++i) {
+    drv.send(frame_of(200 + 10 * i, static_cast<uint8_t>(i)), 1);
+    ASSERT_TRUE(drv.poll_rx().has_value());
+    drv.ack_irq();
+  }
+
+  // Session 3: wire mode — transmit to the wire, receive from the wire.
+  drv.setup({.tx_ring_len = 16,
+             .rx_ring_len = 16,
+             .loopback = false,
+             .append_fcs = false});
+  for (int i = 0; i < 6; ++i) {
+    drv.send(frame_of(400 + 100 * i, static_cast<uint8_t>(i)), (i % 3) + 1);
+    drv.ack_irq();
+  }
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(device.receive_frame(frame_of(256 + 64 * i, 0x40)));
+    ASSERT_TRUE(drv.poll_rx().has_value());
+    drv.ack_irq();
+  }
+  (void)drv.rcsr(4);
+  (void)drv.rcsr(76);
+}
+
+struct Harness {
+  GuestMemory mem{1 << 20};
+  PcnetDevice device;
+  IoBus bus;
+  PcnetDriver driver;
+  spec::EsCfg cfg;
+  std::unique_ptr<EsChecker> checker;
+
+  explicit Harness(PcnetDevice::Vulns vulns = {}, CheckerConfig config = {})
+      : device(&mem, vulns), driver(&bus, &mem) {
+    bus.map(IoSpace::kPio, PcnetDevice::kBasePort, PcnetDevice::kPortSpan,
+            &device);
+    cfg = pipeline::build_spec(device, [this] {
+      PcnetDriver train(&bus, &mem);
+      benign_training(train, device);
+    });
+    checker = pipeline::deploy(cfg, device, bus, config);
+  }
+};
+
+TEST(PcnetPipeline, BenignWorkloadIsClean) {
+  Harness h;
+  benign_training(h.driver, h.device);
+  EXPECT_EQ(h.checker->stats().blocked, 0u);
+  EXPECT_EQ(h.checker->stats().warnings, 0u);
+  EXPECT_TRUE(h.device.incidents().empty());
+}
+
+TEST(PcnetPipeline, LayoutPlacesIrqAfterBuffer) {
+  GuestMemory mem(1 << 20);
+  PcnetDevice device(&mem);
+  const auto& layout = device.program().layout();
+  const auto& buf = layout.field(device.blueprint().buffer);
+  const auto& irq = layout.field(device.blueprint().irq_fn);
+  // The CRC-past-the-buffer corruption must land on irq_fn, as in the real
+  // PCNetState heap layout the paper's exploits rely on.
+  EXPECT_EQ(buf.offset + buf.size, irq.offset);
+}
+
+// --- CVE-2015-7504: loopback CRC store through a temp pointer ------------
+
+void exploit_7504(PcnetDriver& drv) {
+  drv.setup({.tx_ring_len = 16,
+             .rx_ring_len = 16,
+             .loopback = true,
+             .append_fcs = true});
+  drv.send(frame_of(PcnetDevice::kBufferSize, 0x41), 1);  // exactly 4096
+}
+
+TEST(PcnetPipeline, Cve7504CorruptsUnprotectedDevice) {
+  GuestMemory mem(1 << 20);
+  PcnetDevice device(&mem, PcnetDevice::Vulns{.cve_2015_7504 = true});
+  IoBus bus;
+  bus.map(IoSpace::kPio, PcnetDevice::kBasePort, PcnetDevice::kPortSpan,
+          &device);
+  PcnetDriver drv(&bus, &mem);
+  exploit_7504(drv);
+  EXPECT_TRUE(device.has_incident(IncidentKind::kOobWrite));
+  EXPECT_TRUE(device.has_incident(IncidentKind::kHijackedCall));
+}
+
+TEST(PcnetPipeline, Cve7504DetectedByIndirectCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_conditional = false;
+  Harness h(PcnetDevice::Vulns{.cve_2015_7504 = true}, config);
+  exploit_7504(h.driver);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[1], 0u);
+  EXPECT_TRUE(h.device.halted());
+  // Caught before the hijacked pointer was invoked.
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kHijackedCall));
+}
+
+TEST(PcnetPipeline, Cve7504BlindSpots) {
+  // Parameter + conditional enabled, indirect disabled: the paper's blind
+  // spot — the OOB store goes through a non-state temporary.
+  CheckerConfig config;
+  config.enable_indirect = false;
+  Harness h(PcnetDevice::Vulns{.cve_2015_7504 = true}, config);
+  exploit_7504(h.driver);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[2], 0u);
+  EXPECT_FALSE(h.device.halted());
+  EXPECT_TRUE(h.device.has_incident(IncidentKind::kOobWrite));
+}
+
+// --- CVE-2015-7512: unchecked TX append ----------------------------------
+
+void exploit_7512(PcnetDriver& drv) {
+  drv.setup({.tx_ring_len = 16,
+             .rx_ring_len = 16,
+             .loopback = true,
+             .append_fcs = false});
+  drv.send(frame_of(6000, 0x42), 2);  // 2 x 3000: second append overflows
+}
+
+TEST(PcnetPipeline, Cve7512DetectedByParameterCheckAlone) {
+  CheckerConfig config;
+  config.enable_indirect = false;
+  config.enable_conditional = false;
+  Harness h(PcnetDevice::Vulns{.cve_2015_7512 = true}, config);
+  exploit_7512(h.driver);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_TRUE(h.device.halted());
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kOobWrite));
+}
+
+TEST(PcnetPipeline, Cve7512DetectedByIndirectCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_conditional = false;
+  Harness h(PcnetDevice::Vulns{.cve_2015_7512 = true}, config);
+  exploit_7512(h.driver);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[1], 0u);
+  EXPECT_TRUE(h.device.halted());
+}
+
+TEST(PcnetPipeline, Cve7512NotDetectedByConditionalCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_indirect = false;
+  Harness h(PcnetDevice::Vulns{.cve_2015_7512 = true}, config);
+  exploit_7512(h.driver);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[2], 0u);
+  // The unchecked append runs off the end of the control structure.
+  EXPECT_TRUE(h.device.has_incident(IncidentKind::kStructEscape));
+}
+
+// --- CVE-2016-7909: RX ring length 0 -> 65536-descriptor scan ------------
+
+void exploit_7909(PcnetDriver& drv) {
+  drv.setup({.tx_ring_len = 16,
+             .rx_ring_len = 16,
+             .loopback = true,
+             .append_fcs = false});
+  drv.revoke_rx_buffers();  // nothing owned: the scan never finds a buffer
+  drv.wcsr(76, 0);          // ring length becomes 0x10000
+  // All-zero payload, so the bogus 65536-descriptor "ring" the device scans
+  // (which overlaps arbitrary guest memory) never looks owned.
+  drv.send(std::vector<uint8_t>(100, 0), 1);
+}
+
+TEST(PcnetPipeline, Cve7909SpinsUnprotectedDevice) {
+  GuestMemory mem(1 << 20);
+  PcnetDevice device(&mem, PcnetDevice::Vulns{.cve_2016_7909 = true});
+  IoBus bus;
+  bus.map(IoSpace::kPio, PcnetDevice::kBasePort, PcnetDevice::kPortSpan,
+          &device);
+  PcnetDriver drv(&bus, &mem);
+  exploit_7909(drv);
+  EXPECT_TRUE(device.has_incident(IncidentKind::kRunawayLoop));
+}
+
+TEST(PcnetPipeline, Cve7909DetectedByConditionalCheckAlone) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  config.enable_indirect = false;
+  Harness h(PcnetDevice::Vulns{.cve_2016_7909 = true}, config);
+  exploit_7909(h.driver);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[2], 0u);
+  EXPECT_TRUE(h.device.halted());
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kRunawayLoop));
+}
+
+TEST(PcnetPipeline, Cve7909NotDetectedByOtherStrategies) {
+  CheckerConfig config;
+  config.enable_conditional = false;
+  Harness h(PcnetDevice::Vulns{.cve_2016_7909 = true}, config);
+  // Clear training leftovers so the bogus ring scan sees no "owned" bits.
+  h.mem.fill(0, h.mem.size(), 0);
+  exploit_7909(h.driver);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[1], 0u);
+  EXPECT_TRUE(h.device.has_incident(IncidentKind::kRunawayLoop));
+}
+
+TEST(PcnetPipeline, RareCsrWriteIsAFalsePositive) {
+  CheckerConfig config;
+  config.mode = Mode::kEnhancement;
+  Harness h({}, config);
+  h.driver.setup({.tx_ring_len = 16,
+                  .rx_ring_len = 16,
+                  .loopback = true,
+                  .append_fcs = true});
+  h.driver.write_rare_csr();
+  EXPECT_GT(h.checker->stats().warnings, 0u);
+  EXPECT_FALSE(h.device.halted());
+  // Still functional afterwards.
+  h.driver.send(frame_of(500, 0x77), 1);
+  EXPECT_TRUE(h.driver.poll_rx().has_value());
+}
+
+}  // namespace
+}  // namespace sedspec

@@ -1,0 +1,87 @@
+// Unit tests for the DeviceProgram model (the "compiled source" the
+// analyses consume), the expression pretty-printer, specification
+// determinism, and deserializer robustness.
+#include <gtest/gtest.h>
+
+#include "guest/workload.h"
+#include "program/program.h"
+#include "spec/serial.h"
+
+namespace sedspec {
+namespace {
+
+TEST(DeviceProgram, SiteAddressesAreUniqueAndInRange) {
+  StateLayout layout("S");
+  (void)layout.add_scalar("x", FieldKind::kRegister, IntType::kU32);
+  DeviceProgram program("t", std::move(layout), 0x4000);
+  const SiteId a = program.add_plain("a", {});
+  const FuncAddr f = program.add_function("handler");
+  const SiteId b = program.add_plain("b", {});
+
+  EXPECT_EQ(program.site(a).addr, 0x4000u);
+  EXPECT_EQ(f, 0x4010u);
+  EXPECT_EQ(program.site(b).addr, 0x4020u);
+  EXPECT_EQ(program.code_base(), 0x4000u);
+  EXPECT_EQ(program.code_end(), 0x4030u);
+
+  EXPECT_EQ(program.site_by_addr(0x4000), a);
+  EXPECT_EQ(program.site_by_addr(0x4020), b);
+  EXPECT_FALSE(program.site_by_addr(0x4010).has_value());  // a function
+  EXPECT_FALSE(program.site_by_addr(0x9999).has_value());
+  EXPECT_TRUE(program.is_function(f));
+  EXPECT_EQ(program.site_by_name("b"), b);
+  EXPECT_FALSE(program.site_by_name("nope").has_value());
+}
+
+TEST(DeviceProgram, IndirectSiteRequiresFuncPtrField) {
+  StateLayout layout("S");
+  const ParamId notfp =
+      layout.add_scalar("notfp", FieldKind::kRegister, IntType::kU64);
+  DeviceProgram program("t", std::move(layout), 0x4000);
+  EXPECT_THROW((void)program.add_indirect("bad", notfp), std::logic_error);
+}
+
+TEST(ExprPrinter, ReadableOutput) {
+  using namespace eb;
+  auto e = lor(eq(param(3, IntType::kU8), c(1, IntType::kU8)),
+               lt(buf_load(4, local(2, IntType::kU32), IntType::kU8),
+                  c(0x80, IntType::kU8)));
+  EXPECT_EQ(to_string(*e), "((p3 == 1) || (p4[local2] < 128))");
+  auto s = sb::assign(7, cast(io_value(IntType::kU32), IntType::kU16),
+                      "reg = value");
+  EXPECT_EQ(to_string(s), "p7 = (u16)(io.value)  // reg = value");
+}
+
+TEST(SpecDeterminism, SameTrainingSameBytesForEveryDevice) {
+  for (const std::string& name : guest::workload_names()) {
+    auto wl1 = guest::make_workload(name);
+    const auto spec1 = spec::serialize(
+        pipeline::build_spec(wl1->device(), [&] { wl1->training(); }));
+    auto wl2 = guest::make_workload(name);
+    const auto spec2 = spec::serialize(
+        pipeline::build_spec(wl2->device(), [&] { wl2->training(); }));
+    EXPECT_EQ(spec1, spec2) << name << ": specification not deterministic";
+  }
+}
+
+TEST(SpecDeserializer, EveryTruncationFailsCleanly) {
+  auto wl = guest::make_workload("scsi-esp");
+  const auto bytes = spec::serialize(
+      pipeline::build_spec(wl->device(), [&] { wl->training(); }));
+  ASSERT_GT(bytes.size(), 64u);
+  // Any strict prefix must throw (fail-fast), never crash or return junk.
+  for (size_t cut = 0; cut < bytes.size();
+       cut += std::max<size_t>(1, bytes.size() / 97)) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_THROW((void)spec::deserialize(prefix), std::logic_error)
+        << "prefix length " << cut;
+  }
+  // Trailing garbage is rejected too.
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW((void)spec::deserialize(padded), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sedspec

@@ -1,0 +1,91 @@
+// Unit tests for the QTest-style scripted I/O harness.
+#include <gtest/gtest.h>
+
+#include "devices/fdc.h"
+#include "guest/qtest.h"
+
+namespace sedspec {
+namespace {
+
+using devices::FdcDevice;
+using guest::QtestError;
+using guest::QtestRunner;
+
+struct QtestEnv {
+  FdcDevice fdc;
+  IoBus bus;
+  GuestMemory mem{4096};
+  VirtualClock clock;
+  QtestRunner runner{&bus, &mem, &clock};
+  QtestEnv() {
+    bus.map(IoSpace::kPio, FdcDevice::kBasePort, FdcDevice::kPortSpan, &fdc);
+  }
+};
+
+TEST(Qtest, DrivesARealDevice) {
+  QtestEnv env;
+  // Reset the FDC, issue VERSION through the FIFO, expect the 82078 id.
+  const auto result = env.runner.run(R"(
+# floppy controller smoke test
+outb 0x3f2 0x00
+outb 0x3f2 0x0c
+inb 0x3f4          # MSR: RQM set after reset
+outb 0x3f5 0x10    # VERSION
+inb 0x3f5
+expect 0x90
+)");
+  EXPECT_EQ(result.commands, 6u);
+  ASSERT_EQ(result.in_values.size(), 2u);
+  EXPECT_EQ(result.in_values[0] & FdcDevice::kMsrRqm, FdcDevice::kMsrRqm);
+  EXPECT_EQ(result.in_values[1], 0x90u);
+}
+
+TEST(Qtest, MemoryAndClockCommands) {
+  QtestEnv env;
+  const auto result = env.runner.run(R"(
+memwrite 0x100 deadbeef
+memset 0x200 4 0x41
+clock_step 2500
+)");
+  EXPECT_EQ(result.commands, 3u);
+  EXPECT_EQ(env.mem.r32(0x100), 0xefbeadde);  // little-endian bytes
+  EXPECT_EQ(env.mem.r8(0x203), 0x41);
+  EXPECT_EQ(env.clock.now(), 2500u);
+}
+
+TEST(Qtest, ExpectFailureReportsLine) {
+  QtestEnv env;
+  try {
+    env.runner.run("outb 0x3f2 0x0c\ninb 0x3f4\nexpect 0x00\n");
+    FAIL() << "expect should have thrown";
+  } catch (const QtestError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Qtest, ParseErrors) {
+  QtestEnv env;
+  EXPECT_THROW((void)env.runner.run("frobnicate 1 2\n"), QtestError);
+  EXPECT_THROW((void)env.runner.run("outb 0x3f2\n"), QtestError);
+  EXPECT_THROW((void)env.runner.run("outb zzz 1\n"), QtestError);
+  EXPECT_THROW((void)env.runner.run("memwrite 0x0 xyz\n"), QtestError);
+  EXPECT_THROW((void)env.runner.run("expect 1\n"), QtestError);
+}
+
+TEST(Qtest, NoAttachmentsRejectUse) {
+  IoBus bus;
+  QtestRunner bare(&bus);
+  EXPECT_THROW((void)bare.run("memset 0 1 0\n"), QtestError);
+  EXPECT_THROW((void)bare.run("clock_step 1\n"), QtestError);
+}
+
+TEST(Qtest, CommentsAndBlankLinesIgnored) {
+  QtestEnv env;
+  const auto result = env.runner.run(
+      "\n   \n# full comment line\n"
+      "outb 0x3f2 0x0c   # trailing comment\n");
+  EXPECT_EQ(result.commands, 1u);
+}
+
+}  // namespace
+}  // namespace sedspec

@@ -1,0 +1,161 @@
+// SDHCI end-to-end: benign traffic clean; CVE-2021-3409 detected by the
+// parameter check (unsigned underflow of blksize - data_count, plus the
+// fifo_buffer overflow on the grow variant) and by no other strategy, as
+// Table III reports.
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "devices/sdhci.h"
+#include "guest/sdhci_driver.h"
+#include "sedspec/pipeline.h"
+#include "vdev/bus.h"
+
+namespace sedspec {
+namespace {
+
+using checker::CheckerConfig;
+using checker::EsChecker;
+using checker::Mode;
+using checker::Strategy;
+using devices::SdhciDevice;
+using guest::SdhciDriver;
+
+void benign_training(SdhciDriver& drv) {
+  drv.init_card();
+  std::vector<uint8_t> block(SdhciDevice::kBlockSize);
+  std::vector<uint8_t> multi(4 * SdhciDevice::kBlockSize);
+  for (uint32_t b = 0; b < 4; ++b) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<uint8_t>(b * 3 + i);
+    }
+    drv.write_block(b, block);
+    std::vector<uint8_t> back(SdhciDevice::kBlockSize);
+    drv.read_block(b, back);
+    ASSERT_EQ(back, block);
+  }
+  for (size_t i = 0; i < multi.size(); ++i) {
+    multi[i] = static_cast<uint8_t>(i * 7);
+  }
+  drv.write_blocks(8, 4, multi);
+  std::vector<uint8_t> back(multi.size());
+  drv.read_blocks(8, 4, back);
+  ASSERT_EQ(back, multi);
+  // Benign driver quirk: redundant BLKSIZE reprogram mid-transfer.
+  drv.write_block_with_reprogram(2, block);
+  std::vector<uint8_t> quirk_back(SdhciDevice::kBlockSize);
+  drv.read_block_with_reprogram(2, quirk_back);
+  ASSERT_EQ(quirk_back, block);
+}
+
+struct Harness {
+  SdhciDevice device;
+  IoBus bus;
+  SdhciDriver driver;
+  spec::EsCfg cfg;
+  std::unique_ptr<EsChecker> checker;
+
+  explicit Harness(SdhciDevice::Vulns vulns = {}, CheckerConfig config = {})
+      : device(vulns), driver(&bus) {
+    bus.map(IoSpace::kMmio, SdhciDevice::kBaseAddr, SdhciDevice::kMmioSpan,
+            &device);
+    cfg = pipeline::build_spec(device, [this] {
+      SdhciDriver train(&bus);
+      benign_training(train);
+    });
+    checker = pipeline::deploy(cfg, device, bus, config);
+  }
+};
+
+// CVE-2021-3409 shrink variant: start a write transfer, push some bytes,
+// shrink BLKSIZE below data_count, keep pushing.
+void exploit_shrink(SdhciDriver& drv) {
+  drv.w16(SdhciDevice::kRegBlkCnt, 1);
+  drv.w32(SdhciDevice::kRegArg, 1);
+  drv.w16(SdhciDevice::kRegCmd,
+          static_cast<uint16_t>(SdhciDevice::kCmdWriteSingle) << 8);
+  for (int i = 0; i < 64; ++i) {
+    drv.w8(SdhciDevice::kRegBData, 0x41);
+  }
+  drv.w16(SdhciDevice::kRegBlkSize, 16);  // 16 < data_count: underflow
+  drv.w8(SdhciDevice::kRegBData, 0x42);  // (blksize - data_count) wraps here
+}
+
+// Grow variant: raise BLKSIZE past the 512-byte fifo mid-transfer.
+void exploit_grow(SdhciDriver& drv) {
+  drv.w16(SdhciDevice::kRegBlkCnt, 1);
+  drv.w32(SdhciDevice::kRegArg, 1);
+  drv.w16(SdhciDevice::kRegCmd,
+          static_cast<uint16_t>(SdhciDevice::kCmdWriteSingle) << 8);
+  drv.w16(SdhciDevice::kRegBlkSize, 0x800);  // > fifo size
+  for (int i = 0; i < 0x700; ++i) {
+    drv.w8(SdhciDevice::kRegBData, 0x41);
+  }
+}
+
+TEST(SdhciPipeline, BenignWorkloadIsClean) {
+  Harness h;
+  benign_training(h.driver);
+  EXPECT_EQ(h.checker->stats().blocked, 0u);
+  EXPECT_EQ(h.checker->stats().warnings, 0u);
+  EXPECT_TRUE(h.device.incidents().empty());
+}
+
+TEST(SdhciPipeline, UnprotectedShrinkCorruptsDevice) {
+  SdhciDevice device(SdhciDevice::Vulns{.cve_2021_3409 = true});
+  IoBus bus;
+  bus.map(IoSpace::kMmio, SdhciDevice::kBaseAddr, SdhciDevice::kMmioSpan,
+          &device);
+  SdhciDriver drv(&bus);
+  drv.init_card();
+  exploit_grow(drv);
+  EXPECT_TRUE(device.has_incident(IncidentKind::kOobWrite));
+}
+
+TEST(SdhciPipeline, ShrinkDetectedByParameterCheckAlone) {
+  CheckerConfig config;
+  config.enable_indirect = false;
+  config.enable_conditional = false;
+  Harness h(SdhciDevice::Vulns{.cve_2021_3409 = true}, config);
+  exploit_shrink(h.driver);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_TRUE(h.device.halted());
+}
+
+TEST(SdhciPipeline, GrowDetectedByParameterCheckAlone) {
+  CheckerConfig config;
+  config.enable_indirect = false;
+  config.enable_conditional = false;
+  Harness h(SdhciDevice::Vulns{.cve_2021_3409 = true}, config);
+  exploit_grow(h.driver);
+  EXPECT_GT(h.checker->stats().violations_by_strategy[0], 0u);
+  EXPECT_TRUE(h.device.halted());
+  EXPECT_FALSE(h.device.has_incident(IncidentKind::kOobWrite));
+}
+
+TEST(SdhciPipeline, ShrinkNotDetectedByOtherStrategies) {
+  CheckerConfig config;
+  config.enable_parameter = false;
+  Harness h(SdhciDevice::Vulns{.cve_2021_3409 = true}, config);
+  exploit_shrink(h.driver);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[1], 0u);
+  EXPECT_EQ(h.checker->stats().violations_by_strategy[2], 0u);
+  EXPECT_FALSE(h.device.halted());
+}
+
+TEST(SdhciPipeline, RareCommandIsAFalsePositive) {
+  CheckerConfig config;
+  config.mode = Mode::kEnhancement;
+  Harness h({}, config);
+  h.driver.switch_function();  // CMD6: legal, untrained
+  EXPECT_GT(h.checker->stats().warnings, 0u);
+  EXPECT_FALSE(h.device.halted());
+  // Normal operation continues.
+  std::vector<uint8_t> block(SdhciDevice::kBlockSize, 0x5a);
+  h.driver.write_block(3, block);
+  std::vector<uint8_t> back(SdhciDevice::kBlockSize);
+  h.driver.read_block(3, back);
+  EXPECT_EQ(back, block);
+}
+
+}  // namespace
+}  // namespace sedspec

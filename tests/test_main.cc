@@ -1,0 +1,16 @@
+// Custom gtest main: silence the library's WARN-level diagnostics (checker
+// warnings are expected output in many tests) unless SEDSPEC_TEST_VERBOSE
+// is set.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (std::getenv("SEDSPEC_TEST_VERBOSE") == nullptr) {
+    sedspec::set_log_level(sedspec::LogLevel::kError);
+  }
+  return RUN_ALL_TESTS();
+}
