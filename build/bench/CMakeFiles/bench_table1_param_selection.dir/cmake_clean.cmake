@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_param_selection.dir/bench_table1_param_selection.cc.o"
+  "CMakeFiles/bench_table1_param_selection.dir/bench_table1_param_selection.cc.o.d"
+  "bench_table1_param_selection"
+  "bench_table1_param_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_param_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

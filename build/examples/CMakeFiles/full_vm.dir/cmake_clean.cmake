@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_vm.dir/full_vm.cpp.o"
+  "CMakeFiles/full_vm.dir/full_vm.cpp.o.d"
+  "full_vm"
+  "full_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_guard.dir/network_guard.cpp.o"
+  "CMakeFiles/network_guard.dir/network_guard.cpp.o.d"
+  "network_guard"
+  "network_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtest_replay.dir/qtest_replay.cpp.o"
+  "CMakeFiles/qtest_replay.dir/qtest_replay.cpp.o.d"
+  "qtest_replay"
+  "qtest_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtest_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_inspector.dir/spec_inspector.cpp.o"
+  "CMakeFiles/spec_inspector.dir/spec_inspector.cpp.o.d"
+  "spec_inspector"
+  "spec_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_guard.dir/storage_guard.cpp.o"
+  "CMakeFiles/storage_guard.dir/storage_guard.cpp.o.d"
+  "storage_guard"
+  "storage_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsim/campaign.cc" "src/CMakeFiles/sedspec.dir/benchsim/campaign.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/benchsim/campaign.cc.o.d"
+  "/root/repo/src/benchsim/perf.cc" "src/CMakeFiles/sedspec.dir/benchsim/perf.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/benchsim/perf.cc.o.d"
+  "/root/repo/src/cfg/analyzer.cc" "src/CMakeFiles/sedspec.dir/cfg/analyzer.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/cfg/analyzer.cc.o.d"
+  "/root/repo/src/cfg/itc_cfg.cc" "src/CMakeFiles/sedspec.dir/cfg/itc_cfg.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/cfg/itc_cfg.cc.o.d"
+  "/root/repo/src/checker/checker.cc" "src/CMakeFiles/sedspec.dir/checker/checker.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/checker/checker.cc.o.d"
+  "/root/repo/src/checker/checker_set.cc" "src/CMakeFiles/sedspec.dir/checker/checker_set.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/checker/checker_set.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/sedspec.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/sedspec.dir/common/log.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/common/log.cc.o.d"
+  "/root/repo/src/dataflow/dataflow.cc" "src/CMakeFiles/sedspec.dir/dataflow/dataflow.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/dataflow/dataflow.cc.o.d"
+  "/root/repo/src/devices/ehci.cc" "src/CMakeFiles/sedspec.dir/devices/ehci.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/devices/ehci.cc.o.d"
+  "/root/repo/src/devices/esp_scsi.cc" "src/CMakeFiles/sedspec.dir/devices/esp_scsi.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/devices/esp_scsi.cc.o.d"
+  "/root/repo/src/devices/fdc.cc" "src/CMakeFiles/sedspec.dir/devices/fdc.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/devices/fdc.cc.o.d"
+  "/root/repo/src/devices/pcnet.cc" "src/CMakeFiles/sedspec.dir/devices/pcnet.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/devices/pcnet.cc.o.d"
+  "/root/repo/src/devices/sdhci.cc" "src/CMakeFiles/sedspec.dir/devices/sdhci.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/devices/sdhci.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/sedspec.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/sedspec.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/stmt.cc" "src/CMakeFiles/sedspec.dir/expr/stmt.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/expr/stmt.cc.o.d"
+  "/root/repo/src/guest/ehci_driver.cc" "src/CMakeFiles/sedspec.dir/guest/ehci_driver.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/ehci_driver.cc.o.d"
+  "/root/repo/src/guest/esp_driver.cc" "src/CMakeFiles/sedspec.dir/guest/esp_driver.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/esp_driver.cc.o.d"
+  "/root/repo/src/guest/exploits.cc" "src/CMakeFiles/sedspec.dir/guest/exploits.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/exploits.cc.o.d"
+  "/root/repo/src/guest/fdc_driver.cc" "src/CMakeFiles/sedspec.dir/guest/fdc_driver.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/fdc_driver.cc.o.d"
+  "/root/repo/src/guest/pcnet_driver.cc" "src/CMakeFiles/sedspec.dir/guest/pcnet_driver.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/pcnet_driver.cc.o.d"
+  "/root/repo/src/guest/qtest.cc" "src/CMakeFiles/sedspec.dir/guest/qtest.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/qtest.cc.o.d"
+  "/root/repo/src/guest/sdhci_driver.cc" "src/CMakeFiles/sedspec.dir/guest/sdhci_driver.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/sdhci_driver.cc.o.d"
+  "/root/repo/src/guest/workload.cc" "src/CMakeFiles/sedspec.dir/guest/workload.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/guest/workload.cc.o.d"
+  "/root/repo/src/program/arena.cc" "src/CMakeFiles/sedspec.dir/program/arena.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/program/arena.cc.o.d"
+  "/root/repo/src/program/layout.cc" "src/CMakeFiles/sedspec.dir/program/layout.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/program/layout.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/CMakeFiles/sedspec.dir/program/program.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/program/program.cc.o.d"
+  "/root/repo/src/sedspec/pipeline.cc" "src/CMakeFiles/sedspec.dir/sedspec/pipeline.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/sedspec/pipeline.cc.o.d"
+  "/root/repo/src/spec/builder.cc" "src/CMakeFiles/sedspec.dir/spec/builder.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/spec/builder.cc.o.d"
+  "/root/repo/src/spec/diff.cc" "src/CMakeFiles/sedspec.dir/spec/diff.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/spec/diff.cc.o.d"
+  "/root/repo/src/spec/es_cfg.cc" "src/CMakeFiles/sedspec.dir/spec/es_cfg.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/spec/es_cfg.cc.o.d"
+  "/root/repo/src/spec/merge.cc" "src/CMakeFiles/sedspec.dir/spec/merge.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/spec/merge.cc.o.d"
+  "/root/repo/src/spec/serial.cc" "src/CMakeFiles/sedspec.dir/spec/serial.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/spec/serial.cc.o.d"
+  "/root/repo/src/statelog/statelog.cc" "src/CMakeFiles/sedspec.dir/statelog/statelog.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/statelog/statelog.cc.o.d"
+  "/root/repo/src/trace/encoder.cc" "src/CMakeFiles/sedspec.dir/trace/encoder.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/trace/encoder.cc.o.d"
+  "/root/repo/src/trace/packets.cc" "src/CMakeFiles/sedspec.dir/trace/packets.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/trace/packets.cc.o.d"
+  "/root/repo/src/vdev/bus.cc" "src/CMakeFiles/sedspec.dir/vdev/bus.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/vdev/bus.cc.o.d"
+  "/root/repo/src/vdev/device.cc" "src/CMakeFiles/sedspec.dir/vdev/device.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/vdev/device.cc.o.d"
+  "/root/repo/src/vdev/instr.cc" "src/CMakeFiles/sedspec.dir/vdev/instr.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/vdev/instr.cc.o.d"
+  "/root/repo/src/vdev/memory.cc" "src/CMakeFiles/sedspec.dir/vdev/memory.cc.o" "gcc" "src/CMakeFiles/sedspec.dir/vdev/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

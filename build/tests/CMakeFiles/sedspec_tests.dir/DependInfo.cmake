@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arena_layout_test.cc" "tests/CMakeFiles/sedspec_tests.dir/arena_layout_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/arena_layout_test.cc.o.d"
+  "/root/repo/tests/benchsim_test.cc" "tests/CMakeFiles/sedspec_tests.dir/benchsim_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/benchsim_test.cc.o.d"
+  "/root/repo/tests/checker_behavior_test.cc" "tests/CMakeFiles/sedspec_tests.dir/checker_behavior_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/checker_behavior_test.cc.o.d"
+  "/root/repo/tests/checker_set_test.cc" "tests/CMakeFiles/sedspec_tests.dir/checker_set_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/checker_set_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/sedspec_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dataflow_test.cc" "tests/CMakeFiles/sedspec_tests.dir/dataflow_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/dataflow_test.cc.o.d"
+  "/root/repo/tests/device_units_test.cc" "tests/CMakeFiles/sedspec_tests.dir/device_units_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/device_units_test.cc.o.d"
+  "/root/repo/tests/ehci_pipeline_test.cc" "tests/CMakeFiles/sedspec_tests.dir/ehci_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/ehci_pipeline_test.cc.o.d"
+  "/root/repo/tests/esp_pipeline_test.cc" "tests/CMakeFiles/sedspec_tests.dir/esp_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/esp_pipeline_test.cc.o.d"
+  "/root/repo/tests/exploit_matrix_test.cc" "tests/CMakeFiles/sedspec_tests.dir/exploit_matrix_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/exploit_matrix_test.cc.o.d"
+  "/root/repo/tests/expr_eval_test.cc" "tests/CMakeFiles/sedspec_tests.dir/expr_eval_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/expr_eval_test.cc.o.d"
+  "/root/repo/tests/expr_serial_test.cc" "tests/CMakeFiles/sedspec_tests.dir/expr_serial_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/expr_serial_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/sedspec_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fdc_pipeline_test.cc" "tests/CMakeFiles/sedspec_tests.dir/fdc_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/fdc_pipeline_test.cc.o.d"
+  "/root/repo/tests/fuzz_robustness_test.cc" "tests/CMakeFiles/sedspec_tests.dir/fuzz_robustness_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/fuzz_robustness_test.cc.o.d"
+  "/root/repo/tests/pcnet_pipeline_test.cc" "tests/CMakeFiles/sedspec_tests.dir/pcnet_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/pcnet_pipeline_test.cc.o.d"
+  "/root/repo/tests/program_model_test.cc" "tests/CMakeFiles/sedspec_tests.dir/program_model_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/program_model_test.cc.o.d"
+  "/root/repo/tests/qtest_test.cc" "tests/CMakeFiles/sedspec_tests.dir/qtest_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/qtest_test.cc.o.d"
+  "/root/repo/tests/sdhci_pipeline_test.cc" "tests/CMakeFiles/sedspec_tests.dir/sdhci_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/sdhci_pipeline_test.cc.o.d"
+  "/root/repo/tests/spec_builder_test.cc" "tests/CMakeFiles/sedspec_tests.dir/spec_builder_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/spec_builder_test.cc.o.d"
+  "/root/repo/tests/statelog_test.cc" "tests/CMakeFiles/sedspec_tests.dir/statelog_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/statelog_test.cc.o.d"
+  "/root/repo/tests/test_main.cc" "tests/CMakeFiles/sedspec_tests.dir/test_main.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/test_main.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/sedspec_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/vdev_test.cc" "tests/CMakeFiles/sedspec_tests.dir/vdev_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/vdev_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/sedspec_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/sedspec_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sedspec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
