@@ -12,13 +12,26 @@ namespace {
 
 using namespace sedspec;
 
-enum class Config { kBaseline, kAll, kParamOnly, kIndirectOnly, kCondOnly };
+enum class Config {
+  kBaseline,
+  kAll,
+  kParamOnly,
+  kIndirectOnly,
+  kCondOnly,
+  kAllFailOpen,  // full protection under the fail-open failure policy:
+                 // shows the containment wrapper + degraded-mode branch
+                 // cost nothing on the happy path
+};
 
 checker::CheckerConfig make_config(Config c) {
   checker::CheckerConfig config;
-  config.enable_parameter = c == Config::kAll || c == Config::kParamOnly;
-  config.enable_indirect = c == Config::kAll || c == Config::kIndirectOnly;
-  config.enable_conditional = c == Config::kAll || c == Config::kCondOnly;
+  const bool all = c == Config::kAll || c == Config::kAllFailOpen;
+  config.enable_parameter = all || c == Config::kParamOnly;
+  config.enable_indirect = all || c == Config::kIndirectOnly;
+  config.enable_conditional = all || c == Config::kCondOnly;
+  config.failure_policy = c == Config::kAllFailOpen
+                              ? checker::FailurePolicy::kFailOpen
+                              : checker::FailurePolicy::kFailClosed;
   return config;
 }
 
@@ -52,6 +65,7 @@ void register_all() {
       {"baseline", Config::kBaseline},    {"all_strategies", Config::kAll},
       {"param_only", Config::kParamOnly}, {"indirect_only", Config::kIndirectOnly},
       {"conditional_only", Config::kCondOnly},
+      {"all_fail_open", Config::kAllFailOpen},
   };
   for (const std::string& device : guest::workload_names()) {
     for (const auto& [label, config] : configs) {

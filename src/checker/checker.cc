@@ -40,6 +40,34 @@ Severity severity_of(Strategy s) {
   return Severity::kWarning;
 }
 
+std::string failure_policy_name(FailurePolicy p) {
+  switch (p) {
+    case FailurePolicy::kFailClosed:
+      return "fail-closed";
+    case FailurePolicy::kFailOpen:
+      return "fail-open";
+  }
+  return "?";
+}
+
+void CheckerStats::merge(const CheckerStats& other) {
+  rounds += other.rounds;
+  clean_rounds += other.clean_rounds;
+  blocked += other.blocked;
+  warnings += other.warnings;
+  for (int i = 0; i < 3; ++i) {
+    violations_by_strategy[i] += other.violations_by_strategy[i];
+  }
+  rollbacks += other.rollbacks;
+  total_steps += other.total_steps;
+  contained_faults += other.contained_faults;
+  fail_closed_faults += other.fail_closed_faults;
+  fail_open_faults += other.fail_open_faults;
+  degraded_rounds += other.degraded_rounds;
+  quarantines += other.quarantines;
+  self_heals += other.self_heals;
+}
+
 std::string severity_name(Severity s) {
   switch (s) {
     case Severity::kCritical:
@@ -166,6 +194,34 @@ void EsChecker::build_aux() {
     collect_syncs(block.cmd_expr, &aux.syncs);
   }
 
+  // Specs arrive from untrusted persistence: every transition target must
+  // resolve to a real block, or traversal would land on a null aux entry.
+  // SEDSPEC_REQUIRE throws logic_error, which deploy_serialized converts
+  // into a kMalformed load rejection.
+  const auto require_block = [&](SiteId site) {
+    SEDSPEC_REQUIRE(site < site_count && aux_[site].block != nullptr);
+  };
+  const auto require_dir = [&](const spec::CondDir& d) {
+    if (d.observed && !d.ends) {
+      require_block(d.succ);
+    }
+  };
+  for (const auto& [key, entry] : cfg_->entry_dispatch) {
+    if (entry != sedspec::kInvalidSite) {
+      require_block(entry);
+    }
+  }
+  for (const auto& [site, block] : cfg_->blocks) {
+    if (block.has_succ && !block.ends) {
+      require_block(block.succ);
+    }
+    require_dir(block.taken);
+    require_dir(block.not_taken);
+    for (const auto& [cmd, dir] : block.cmd_dispatch) {
+      require_dir(dir);
+    }
+  }
+
   entries_.assign(cfg_->entry_dispatch.begin(), cfg_->entry_dispatch.end());
 }
 
@@ -255,6 +311,19 @@ CheckResult EsChecker::check(const IoAccess& io) {
   shadow_.clear_locals();
   ++epoch_;
 
+  // Fault-injection seam: model an internal checker malfunction this round.
+  InternalFault fault;
+  if (fault_hook_) {
+    fault = fault_hook_(shadow_);
+    if (fault.throw_in_traversal) {
+      throw CheckerFault("injected traversal fault");
+    }
+  }
+  // The watchdog must sit strictly above the policy budget, or it would
+  // preempt the ordinary (violation-producing) budget check.
+  const uint64_t watchdog =
+      std::max(config_.watchdog_steps, config_.max_steps + 1);
+
   // Entry dispatch (paper §V-A: the entry block parses the target
   // address/port of the I/O request).
   const sedspec::IoKey key = sedspec::key_of(io);
@@ -281,7 +350,15 @@ CheckResult EsChecker::check(const IoAccess& io) {
   t.current = entry;
 
   while (!t.stop && t.current != sedspec::kInvalidSite) {
-    if (++t.steps > config_.max_steps) {
+    ++t.steps;
+    if (t.steps > watchdog) {
+      // Hard backstop: the ordinary budget check below should have ended
+      // this round long ago. Reaching here means the termination logic
+      // itself is broken — escalate into the containment domain.
+      throw CheckerFault("traversal watchdog tripped after " +
+                         std::to_string(t.steps) + " steps");
+    }
+    if (t.steps > config_.max_steps && !fault.suppress_termination) {
       if (strategy_enabled(Strategy::kConditionalJump)) {
         t.add(Strategy::kConditionalJump, t.current,
               "traversal budget exceeded");
@@ -289,6 +366,12 @@ CheckResult EsChecker::check(const IoAccess& io) {
       break;
     }
     const BlockAux& aux = aux_[t.current];
+    if (aux.block == nullptr) {
+      // Belt and braces under build_aux()'s load-time validation: never
+      // dereference an unmapped site, contain it instead.
+      throw CheckerFault("traversal reached unmapped site " +
+                         std::to_string(t.current));
+    }
     const EsBlock& block = *aux.block;
 
     // Per-round visit bound (trained loop shape).
@@ -296,7 +379,8 @@ CheckResult EsChecker::check(const IoAccess& io) {
       visit_epoch_[t.current] = epoch_;
       visits_[t.current] = 0;
     }
-    if (++visits_[t.current] > aux.visit_bound) {
+    if (++visits_[t.current] > aux.visit_bound &&
+        !fault.suppress_termination) {
       if (strategy_enabled(Strategy::kConditionalJump)) {
         std::ostringstream detail;
         detail << "block '" << block.name << "' visited "
@@ -428,6 +512,75 @@ CheckResult EsChecker::check(const IoAccess& io) {
 }
 
 bool EsChecker::before_access(Device& device, const IoAccess& io) {
+  if (degraded_) {
+    // Fail-open degraded mode: serve unprotected rounds until the next
+    // self-heal attempt, then resync the shadow and re-attach.
+    if (degraded_rounds_since_heal_ + 1 >= config_.self_heal_interval) {
+      resync();
+      degraded_ = false;
+      degraded_rounds_since_heal_ = 0;
+      ++stats_.self_heals;
+      // Fall through: this round is checked again.
+    } else {
+      ++degraded_rounds_since_heal_;
+      ++stats_.rounds;
+      ++stats_.degraded_rounds;
+      pending_resync_ = true;  // track whatever the device does unchecked
+      return true;
+    }
+  }
+  try {
+    return guarded_before_access(device, io);
+  } catch (const std::exception& e) {
+    return contain_fault(device, e.what(), /*count_round=*/true);
+  } catch (...) {
+    return contain_fault(device, "unknown checker fault",
+                         /*count_round=*/true);
+  }
+}
+
+bool EsChecker::contain_fault(Device& device, const std::string& what,
+                              bool count_round) {
+  if (count_round) {
+    ++stats_.rounds;
+  }
+  ++stats_.contained_faults;
+  log_warn("checker") << cfg_->device_name << ": contained internal fault ("
+                      << failure_policy_name(config_.failure_policy)
+                      << ") — " << what;
+  if (config_.failure_policy == FailurePolicy::kFailClosed) {
+    // Quarantine: power-cycle the device to a known-good state, rebuild the
+    // shadow from it, and re-arm. Protection never lapses; availability
+    // costs one device reset.
+    ++stats_.fail_closed_faults;
+    ++stats_.quarantines;
+    if (count_round) {
+      ++stats_.blocked;
+    }
+    device.reset();
+    resync();
+    if (checkpoint_ != nullptr) {
+      checkpoint_->copy_from(device.state());
+    }
+    pending_resync_ = false;
+    last_ = {};
+    last_.blocked = true;
+    return false;
+  }
+  // Fail-open: the access proceeds unprotected; alert and schedule a
+  // self-heal.
+  ++stats_.fail_open_faults;
+  if (count_round) {
+    ++stats_.degraded_rounds;
+  }
+  degraded_ = true;
+  degraded_rounds_since_heal_ = 0;
+  pending_resync_ = true;
+  last_ = {};
+  return true;
+}
+
+bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
   const std::optional<uint64_t> saved_cmd = active_cmd_;
   last_ = check(io);
   ++stats_.rounds;
@@ -493,15 +646,22 @@ bool EsChecker::before_access(Device& device, const IoAccess& io) {
 }
 
 void EsChecker::after_access(Device& device, const IoAccess& /*io*/) {
-  if (checkpoint_ != nullptr && last_.clean()) {
-    checkpoint_->copy_from(device.state());
-  }
-  if (pending_resync_) {
-    shadow_.copy_from(device.state());
-    // The warned-about round may have left command tracking stale; drop it
-    // so one warning cannot cascade into access-table false positives.
-    active_cmd_.reset();
-    pending_resync_ = false;
+  try {
+    if (checkpoint_ != nullptr && last_.clean() && !degraded_) {
+      checkpoint_->copy_from(device.state());
+    }
+    if (pending_resync_) {
+      shadow_.copy_from(device.state());
+      // The warned-about round may have left command tracking stale; drop it
+      // so one warning cannot cascade into access-table false positives.
+      active_cmd_.reset();
+      pending_resync_ = false;
+    }
+  } catch (const std::exception& e) {
+    // The round was already counted in before_access.
+    contain_fault(device, e.what(), /*count_round=*/false);
+  } catch (...) {
+    contain_fault(device, "unknown checker fault", /*count_round=*/false);
   }
 }
 

@@ -30,10 +30,20 @@
 //                  strategies alert warnings and execution continues (the
 //                  shadow state is resynchronized from the device after a
 //                  warning round so one warning does not cascade).
+//
+// Failure domain (robustness layer): the checker sits in front of every
+// I/O access, so an *internal* checker fault — corrupt deployed spec,
+// traversal bug, shadow-state divergence, a tripped traversal watchdog —
+// must not take the VMM down with it. before_access/after_access form a
+// containment boundary: any exception raised inside the checking path is
+// caught, counted in CheckerStats, and resolved by the configured
+// FailurePolicy. No exception ever escapes the proxy interface.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -67,6 +77,27 @@ enum class Severity : uint8_t { kCritical = 0, kHigh = 1, kWarning = 2 };
 [[nodiscard]] std::string severity_name(Severity s);
 
 enum class Mode : uint8_t { kProtection, kEnhancement };
+
+/// How a contained internal checker fault degrades the deployment.
+///   kFailClosed — block the access, quarantine the device (reset it to
+///                 power-on state), resynchronize the shadow from it, and
+///                 re-arm the checker. Availability costs a device reset;
+///                 protection never lapses.
+///   kFailOpen   — let the access through unprotected, raise a degraded-
+///                 mode alert, and periodically attempt a self-heal
+///                 (shadow resync + re-attach). The device stays fully
+///                 available; protection lapses until the re-attach sticks.
+enum class FailurePolicy : uint8_t { kFailClosed = 0, kFailOpen = 1 };
+
+[[nodiscard]] std::string failure_policy_name(FailurePolicy p);
+
+/// Internal checker malfunction (tripped watchdog, injected fault, ...).
+/// Raised inside the checking path and resolved by the containment layer;
+/// never crosses before_access/after_access.
+class CheckerFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct Violation {
   Strategy strategy = Strategy::kParameter;
@@ -113,8 +144,23 @@ struct CheckerConfig {
   /// device's control structure from the last clean checkpoint and keep the
   /// device available. Costs one arena copy per clean round.
   bool rollback_on_violation = false;
+
+  /// Resolution policy for contained internal faults (see FailurePolicy).
+  FailurePolicy failure_policy = FailurePolicy::kFailClosed;
+  /// Hard traversal backstop: if one round walks more steps than this, the
+  /// round is aborted with a CheckerFault into the containment layer. Set
+  /// above max_steps — it only fires when the ordinary budget check itself
+  /// is broken (spec corruption, internal bug, injected fault).
+  uint64_t watchdog_steps = 1u << 22;
+  /// Fail-open only: degraded rounds served unprotected between self-heal
+  /// (shadow resync + re-attach) attempts.
+  uint64_t self_heal_interval = 16;
 };
 
+/// Bookkeeping invariant:
+///   rounds == clean_rounds + warnings + blocked + degraded_rounds
+/// Contained faults resolve into `blocked` (fail-closed) or
+/// `degraded_rounds` (fail-open), so the invariant survives faults.
 struct CheckerStats {
   uint64_t rounds = 0;
   uint64_t clean_rounds = 0;
@@ -123,6 +169,17 @@ struct CheckerStats {
   uint64_t violations_by_strategy[3] = {0, 0, 0};
   uint64_t rollbacks = 0;
   uint64_t total_steps = 0;
+
+  // Failure-domain counters.
+  uint64_t contained_faults = 0;    // internal faults caught at the boundary
+  uint64_t fail_closed_faults = 0;  // ... resolved by quarantine/block
+  uint64_t fail_open_faults = 0;    // ... resolved by unprotected passthrough
+  uint64_t degraded_rounds = 0;     // rounds served without protection
+  uint64_t quarantines = 0;         // device quarantine/reset cycles
+  uint64_t self_heals = 0;          // successful re-attach after degradation
+
+  /// Sums another checker's counters into this one (fleet aggregation).
+  void merge(const CheckerStats& other);
 };
 
 class EsChecker final : public sedspec::IoProxy {
@@ -133,11 +190,15 @@ class EsChecker final : public sedspec::IoProxy {
   EsChecker(const spec::EsCfg* cfg, Device* device, CheckerConfig config = {});
 
   // IoProxy -------------------------------------------------------------
+  // Containment boundary: no exception raised by the checking path escapes
+  // either hook; internal faults resolve via config().failure_policy.
   bool before_access(Device& device, const IoAccess& io) override;
   void after_access(Device& device, const IoAccess& io) override;
 
   /// Core traversal: simulates one I/O round, returns every violation.
-  /// Does not apply the mode policy (before_access does).
+  /// Does not apply the mode policy (before_access does). NOT a containment
+  /// boundary — internal faults (watchdog, injected) propagate to the
+  /// caller; use the proxy hooks for contained checking.
   [[nodiscard]] CheckResult check(const IoAccess& io);
 
   /// Re-copies the shadow state from the device (used after reset).
@@ -150,6 +211,21 @@ class EsChecker final : public sedspec::IoProxy {
   [[nodiscard]] sedspec::StateArena& shadow() { return shadow_; }
   [[nodiscard]] const CheckerConfig& config() const { return config_; }
   void set_mode(Mode mode) { config_.mode = mode; }
+
+  /// True while the checker serves rounds unprotected after a fail-open
+  /// containment, waiting for the next self-heal attempt.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Fault-injection seam (faultinject layer 4): consulted once per checked
+  /// round with the shadow arena (so a hook can corrupt shadow state
+  /// mid-round). The returned flags model internal checker bugs.
+  struct InternalFault {
+    bool throw_in_traversal = false;  // forced traversal exception
+    bool suppress_termination = false;  // break budget/visit-bound checks;
+                                        // only the watchdog can stop the round
+  };
+  using FaultHook = std::function<InternalFault(sedspec::StateArena& shadow)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:
   struct Traversal;
@@ -170,6 +246,9 @@ class EsChecker final : public sedspec::IoProxy {
   void exec_dsod(const BlockAux& aux, Traversal& t);
   [[nodiscard]] bool index_is_state_derived(const sedspec::ExprRef& e) const;
   void build_aux();
+  bool guarded_before_access(Device& device, const IoAccess& io);
+  bool contain_fault(Device& device, const std::string& what,
+                     bool count_round);
 
   const spec::EsCfg* cfg_;
   Device* device_;
@@ -179,6 +258,9 @@ class EsChecker final : public sedspec::IoProxy {
   CheckerStats stats_;
   CheckResult last_;
   bool pending_resync_ = false;
+  bool degraded_ = false;
+  uint64_t degraded_rounds_since_heal_ = 0;
+  FaultHook fault_hook_;
 
   std::vector<BlockAux> aux_;                           // by SiteId
   std::vector<std::pair<sedspec::IoKey, SiteId>> entries_;  // flat dispatch

@@ -16,6 +16,14 @@ EsChecker* CheckerSet::checker_for(const Device& device) const {
   return it == checkers_.end() ? nullptr : it->second.get();
 }
 
+CheckerStats CheckerSet::aggregate_stats() const {
+  CheckerStats total;
+  for (const auto& [device, checker] : checkers_) {
+    total.merge(checker->stats());
+  }
+  return total;
+}
+
 bool CheckerSet::before_access(Device& device, const IoAccess& io) {
   EsChecker* checker = checker_for(device);
   return checker == nullptr || checker->before_access(device, io);

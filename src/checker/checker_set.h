@@ -22,6 +22,10 @@ class CheckerSet final : public sedspec::IoProxy {
   [[nodiscard]] EsChecker* checker_for(const Device& device) const;
   [[nodiscard]] size_t size() const { return checkers_.size(); }
 
+  /// Fleet-wide view: sums every attached checker's counters (containment
+  /// events, degraded rounds, quarantines, self-heals, ... included).
+  [[nodiscard]] CheckerStats aggregate_stats() const;
+
   // IoProxy ---------------------------------------------------------------
   bool before_access(Device& device, const IoAccess& io) override;
   void after_access(Device& device, const IoAccess& io) override;

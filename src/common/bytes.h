@@ -3,7 +3,9 @@
 // Used by the trace-packet encoder (src/trace), the device-state-change log
 // (src/statelog), and ES-CFG persistence (src/spec). Everything is encoded
 // little-endian with explicit widths; variable-length payloads are
-// length-prefixed. ByteReader is fail-fast: reading past the end throws.
+// length-prefixed. ByteReader is fail-fast: reading past the end throws
+// DecodeError — persisted bytes are untrusted input, not API arguments, so
+// a truncated buffer is a recoverable input error rather than misuse.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "common/assert.h"
+#include "common/decode.h"
 
 namespace sedspec {
 
@@ -58,7 +60,7 @@ class ByteReader {
 
   std::vector<uint8_t> varbytes() {
     const uint32_t n = u32();
-    SEDSPEC_REQUIRE_MSG(pos_ + n <= data_.size(), "varbytes past end");
+    SEDSPEC_CHECK_DECODE(pos_ + n <= data_.size(), "varbytes past end");
     std::vector<uint8_t> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
                              data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
     pos_ += n;
@@ -76,7 +78,7 @@ class ByteReader {
  private:
   template <typename T>
   T read() {
-    SEDSPEC_REQUIRE_MSG(pos_ + sizeof(T) <= data_.size(), "read past end");
+    SEDSPEC_CHECK_DECODE(pos_ + sizeof(T) <= data_.size(), "read past end");
     T v;
     std::memcpy(&v, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);

@@ -1,0 +1,18 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320, reflected).
+//
+// Integrity check for persisted artifacts: the ES-CFG envelope stores a
+// CRC32 over its payload so a bit-flipped or truncated specification is
+// rejected at load time instead of being deployed as a checker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sedspec {
+
+/// One-shot CRC32 of `data`. `seed` chains incremental computations
+/// (pass a previous call's return value to continue).
+[[nodiscard]] uint32_t crc32(std::span<const uint8_t> data,
+                             uint32_t seed = 0);
+
+}  // namespace sedspec

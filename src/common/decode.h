@@ -1,0 +1,38 @@
+// Untrusted-input validation.
+//
+// SEDSPEC_REQUIRE (common/assert.h) flags programmer errors — broken
+// invariants, API misuse — and throws std::logic_error. Deserializers,
+// however, consume *untrusted* bytes: a persisted specification, a trace
+// packet buffer, or a state log may be corrupt, truncated, or stale, and
+// that must surface as a recoverable input error distinct from a bug.
+// SEDSPEC_CHECK_DECODE throws DecodeError (a std::runtime_error), so
+// loaders can catch decode failures specifically and convert them into
+// structured results (e.g. spec::load) instead of aborting the deployment.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sedspec {
+
+/// Malformed untrusted input (corrupt bytes, bad format, failed integrity
+/// check). Recoverable by the caller; never indicates API misuse.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void decode_failed(const char* file, int line,
+                                       const std::string& msg) {
+  throw DecodeError("malformed input: " + msg + " (" + file + ":" +
+                    std::to_string(line) + ")");
+}
+
+}  // namespace sedspec
+
+#define SEDSPEC_CHECK_DECODE(cond, msg)                    \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::sedspec::decode_failed(__FILE__, __LINE__, (msg)); \
+    }                                                      \
+  } while (0)

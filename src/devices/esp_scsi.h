@@ -93,6 +93,7 @@ class EspScsiDevice final : public sedspec::Device {
   std::optional<uint64_t> resolve_sync(
       sedspec::LocalId local, const sedspec::IoAccess& io,
       const sedspec::StateAccess& view) override;
+  sedspec::DmaEngine* dma_engine() override { return &dma_; }
 
   [[nodiscard]] std::span<uint8_t> disk() { return disk_; }
 

@@ -91,6 +91,7 @@ class PcnetDevice final : public sedspec::Device {
   std::optional<uint64_t> resolve_sync(
       sedspec::LocalId local, const sedspec::IoAccess& io,
       const sedspec::StateAccess& view) override;
+  sedspec::DmaEngine* dma_engine() override { return &dma_; }
 
   /// Host-side frame delivery (the NIC's wire side). Runs the receive path
   /// in a device-internal round; not guest I/O, so it is not checked.

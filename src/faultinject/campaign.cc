@@ -1,0 +1,313 @@
+#include "faultinject/campaign.h"
+
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "common/log.h"
+#include "guest/workload.h"
+#include "sedspec/pipeline.h"
+#include "spec/serial.h"
+#include "vdev/dma.h"
+
+namespace sedspec::faultinject {
+
+void LayerOutcomes::add(const LayerOutcomes& other) {
+  injected += other.injected;
+  rejected_at_load += other.rejected_at_load;
+  contained += other.contained;
+  fail_closed += other.fail_closed;
+  fail_open += other.fail_open;
+  flagged += other.flagged;
+  absorbed += other.absorbed;
+  escaped += other.escaped;
+}
+
+bool LayerOutcomes::accounted() const {
+  return injected ==
+         rejected_at_load + contained + flagged + absorbed + escaped;
+}
+
+LayerOutcomes CampaignResult::total() const {
+  LayerOutcomes sum;
+  for (const LayerOutcomes& o : by_layer) {
+    sum.add(o);
+  }
+  return sum;
+}
+
+std::string CampaignResult::describe() const {
+  std::ostringstream out;
+  out << "layer     injected rejected contained (closed/open) flagged "
+         "absorbed escaped\n";
+  auto row = [&out](const std::string& name, const LayerOutcomes& o) {
+    out << std::left << std::setw(10) << name << std::right << std::setw(8)
+        << o.injected << std::setw(9) << o.rejected_at_load << std::setw(10)
+        << o.contained << "  (" << o.fail_closed << "/" << o.fail_open << ")"
+        << std::setw(9) << o.flagged << std::setw(9) << o.absorbed
+        << std::setw(8) << o.escaped << "\n";
+  };
+  for (size_t i = 0; i < kLayerCount; ++i) {
+    row(layer_name(static_cast<Layer>(i)), by_layer[i]);
+  }
+  row("total", total());
+  out << "spec rejections by status:";
+  for (size_t i = 0; i < 8; ++i) {
+    if (spec_rejections_by_status[i] > 0) {
+      out << " " << spec::load_status_name(static_cast<spec::LoadStatus>(i))
+          << "=" << spec_rejections_by_status[i];
+    }
+  }
+  out << "\nbus proxy backstop hits: " << proxy_faults << "\n";
+  return out.str();
+}
+
+namespace {
+
+/// Drives benign guest I/O; returns true if an exception escaped the bus
+/// path (the campaign's hard failure condition).
+bool run_ops(guest::DeviceWorkload& wl, int ops, Rng& rng) {
+  try {
+    for (int i = 0; i < ops; ++i) {
+      wl.common_operation(guest::InteractionMode::kSequential, rng);
+    }
+  } catch (...) {
+    return true;
+  }
+  return false;
+}
+
+/// Classifies one fault's outcome from the checker's counter deltas.
+void classify(const checker::CheckerStats& before,
+              const checker::CheckerStats& after, LayerOutcomes& o) {
+  if (after.contained_faults > before.contained_faults) {
+    ++o.contained;
+    if (after.fail_closed_faults > before.fail_closed_faults) {
+      ++o.fail_closed;
+    } else {
+      ++o.fail_open;
+    }
+  } else if (after.blocked > before.blocked ||
+             after.warnings > before.warnings) {
+    ++o.flagged;
+  } else {
+    ++o.absorbed;
+  }
+}
+
+/// Detaches the checker from the workload and restores a clean device.
+void undeploy(guest::DeviceWorkload& wl) {
+  wl.bus().set_proxy(nullptr);
+  wl.device().set_internal_activity_hook({});
+  disarm_dma_faults(wl.device());
+  wl.device().reset();
+}
+
+void run_spec_layer(guest::DeviceWorkload& wl,
+                    const std::vector<uint8_t>& base,
+                    const CampaignConfig& config,
+                    const checker::CheckerConfig& cc, Rng& rng,
+                    CampaignResult& result) {
+  LayerOutcomes& o = result.by_layer[static_cast<size_t>(Layer::kSpec)];
+  for (size_t i = 0; i < config.spec_faults_per_device; ++i) {
+    std::vector<uint8_t> corrupted = base;
+    const auto kind = static_cast<SpecFaultKind>(i % kSpecFaultKinds);
+    corrupt_spec(corrupted, kind, rng);
+    ++o.injected;
+    auto out = pipeline::deploy_serialized(corrupted, wl.device(), wl.bus(),
+                                           cc);
+    if (!out.ok()) {
+      ++o.rejected_at_load;
+      ++result.spec_rejections_by_status[static_cast<size_t>(
+          out.error.status)];
+      continue;
+    }
+    // The corruption survived the envelope AND the structural decoder (a
+    // resealed garble that landed in value bytes): the checker now runs on
+    // a subtly wrong spec. Benign traffic must stay safe regardless.
+    const checker::CheckerStats before = out.checker->stats();
+    if (run_ops(wl, config.ops_per_fault, rng)) {
+      ++o.escaped;
+    } else {
+      classify(before, out.checker->stats(), o);
+    }
+    undeploy(wl);
+  }
+}
+
+void run_trace_layer(guest::DeviceWorkload& wl, const CampaignConfig& config,
+                     const checker::CheckerConfig& cc, Rng& rng,
+                     CampaignResult& result) {
+  LayerOutcomes& o = result.by_layer[static_cast<size_t>(Layer::kTrace)];
+  for (size_t i = 0; i < config.trace_faults_per_device; ++i) {
+    const auto kind = static_cast<TraceFaultKind>(i % kTraceFaultKinds);
+    ++o.injected;
+    pipeline::CollectOptions opts;
+    opts.packet_tap = [&](std::vector<uint8_t>& packets) {
+      corrupt_packets(packets, kind, 1 + rng.below(3), rng);
+    };
+    std::unique_ptr<spec::EsCfg> cfg;
+    try {
+      const pipeline::CollectionResult collection =
+          pipeline::collect(wl.device(), [&] { wl.training(); }, opts);
+      cfg = std::make_unique<spec::EsCfg>(
+          pipeline::construct(wl.device(), collection));
+    } catch (const std::exception&) {
+      // The pipeline rejected the corrupt trace (decoder or builder); a
+      // real deployment re-collects. The fault never reached runtime.
+      wl.device().reset();
+      ++o.rejected_at_load;
+      continue;
+    }
+    wl.device().reset();
+    try {
+      auto checker = pipeline::deploy(*cfg, wl.device(), wl.bus(), cc);
+      const checker::CheckerStats before = checker->stats();
+      if (run_ops(wl, config.ops_per_fault, rng)) {
+        ++o.escaped;
+      } else {
+        classify(before, checker->stats(), o);
+      }
+      undeploy(wl);
+    } catch (const std::exception&) {
+      undeploy(wl);
+      ++o.rejected_at_load;
+    }
+  }
+}
+
+void run_dma_layer(guest::DeviceWorkload& wl, const spec::EsCfg& cfg,
+                   const CampaignConfig& config,
+                   const checker::CheckerConfig& cc, Rng& rng,
+                   CampaignResult& result) {
+  DmaEngine* dma = wl.device().dma_engine();
+  if (dma == nullptr) {
+    return;  // PIO/MMIO-only device: the layer does not apply
+  }
+  LayerOutcomes& o = result.by_layer[static_cast<size_t>(Layer::kDma)];
+  auto checker = pipeline::deploy(cfg, wl.device(), wl.bus(), cc);
+  size_t injected = 0;
+  // Not every benign operation masters the bus, so attempts are bounded
+  // separately from the injection target.
+  const size_t max_attempts = config.dma_faults_per_device * 8;
+  for (size_t attempt = 0;
+       attempt < max_attempts && injected < config.dma_faults_per_device;
+       ++attempt) {
+    const auto kind = static_cast<DmaFaultKind>(attempt % kDmaFaultKinds);
+    arm_dma_faults(wl.device(), kind, 1, config.seed ^ (attempt * 0x9e37));
+    const uint64_t before_faults = dma->faults_injected();
+    const checker::CheckerStats before = checker->stats();
+    const bool escaped = run_ops(wl, config.ops_per_fault, rng);
+    const bool consumed = dma->faults_injected() > before_faults;
+    disarm_dma_faults(wl.device());
+    if (!consumed && !escaped) {
+      continue;  // the ops never reached the DMA engine; not an injection
+    }
+    ++injected;
+    ++o.injected;
+    if (escaped) {
+      ++o.escaped;
+    } else {
+      classify(before, checker->stats(), o);
+    }
+    checker->resync();  // isolate faults from each other
+  }
+  undeploy(wl);
+}
+
+void run_checker_layer(guest::DeviceWorkload& wl, const spec::EsCfg& cfg,
+                       const CampaignConfig& config,
+                       const checker::CheckerConfig& cc, Rng& rng,
+                       CampaignResult& result) {
+  LayerOutcomes& o = result.by_layer[static_cast<size_t>(Layer::kChecker)];
+  const size_t per_kind = config.checker_faults_per_device / 3;
+  const size_t throw_count =
+      config.checker_faults_per_device - 2 * per_kind;  // remainder to kThrow
+
+  auto inject = [&](checker::EsChecker& checker, CheckerFaultKind kind,
+                    size_t count) {
+    // Runaway faults need to land on a round that actually reaches a looped
+    // block, so they are armed across several rounds; the others are
+    // strictly one-shot.
+    const size_t arm = kind == CheckerFaultKind::kRunaway ? 16 : 1;
+    for (size_t i = 0; i < count; ++i) {
+      arm_checker_faults(checker, kind, arm, rng.next_u64());
+      ++o.injected;
+      const checker::CheckerStats before = checker.stats();
+      if (run_ops(wl, config.ops_per_fault, rng)) {
+        ++o.escaped;
+      } else {
+        classify(before, checker.stats(), o);
+      }
+      disarm_checker_faults(checker);
+      checker.resync();  // isolate faults from each other
+    }
+  };
+
+  {
+    auto checker = pipeline::deploy(cfg, wl.device(), wl.bus(), cc);
+    inject(*checker, CheckerFaultKind::kThrow, throw_count);
+    inject(*checker, CheckerFaultKind::kShadowCorrupt, per_kind);
+    undeploy(wl);
+  }
+
+  // Runaway faults need a spec the traversal can actually loop on: rewire
+  // the entry block into a self-loop so that, with the termination checks
+  // suppressed, only the watchdog can end the round.
+  {
+    const std::vector<uint8_t> bytes = spec::serialize(cfg);
+    spec::EsCfg loop_cfg = spec::deserialize(bytes);
+    for (const auto& [key, entry] : loop_cfg.entry_dispatch) {
+      if (entry == sedspec::kInvalidSite) {
+        continue;  // trained key whose round ends at dispatch
+      }
+      spec::EsBlock& block = loop_cfg.blocks.at(entry);
+      block.kind = BlockKind::kPlain;
+      block.merged = false;
+      block.has_succ = true;
+      block.succ = entry;
+      block.ends = false;
+    }
+    auto checker = pipeline::deploy(loop_cfg, wl.device(), wl.bus(), cc);
+    inject(*checker, CheckerFaultKind::kRunaway, per_kind);
+    undeploy(wl);
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  CampaignResult result;
+  const std::vector<std::string> devices =
+      config.devices.empty() ? guest::workload_names() : config.devices;
+
+  checker::CheckerConfig cc;
+  cc.mode = checker::Mode::kProtection;
+  cc.rollback_on_violation = true;  // faults must never strand a device
+  cc.failure_policy = config.policy;
+  cc.watchdog_steps = config.watchdog_steps;
+  cc.max_steps = 1u << 12;  // benign rounds sit far below this
+  cc.self_heal_interval = 4;
+
+  Rng rng(config.seed);
+  for (const std::string& name : devices) {
+    auto wl = guest::make_workload(name);
+    log_info("faultinject") << name << ": campaign start (policy "
+                            << checker::failure_policy_name(config.policy)
+                            << ", seed 0x" << std::hex << config.seed << ")";
+    const spec::EsCfg cfg =
+        pipeline::build_spec(wl->device(), [&] { wl->training(); });
+    const std::vector<uint8_t> bytes = spec::serialize(cfg);
+
+    run_spec_layer(*wl, bytes, config, cc, rng, result);
+    run_trace_layer(*wl, config, cc, rng, result);
+    run_dma_layer(*wl, cfg, config, cc, rng, result);
+    run_checker_layer(*wl, cfg, config, cc, rng, result);
+
+    result.proxy_faults += wl->bus().proxy_fault_count();
+    ++result.devices_run;
+  }
+  return result;
+}
+
+}  // namespace sedspec::faultinject

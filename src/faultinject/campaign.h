@@ -1,0 +1,70 @@
+// Fault-injection campaign driver.
+//
+// Runs a seed-driven sweep of faults across all four injection layers and
+// every device workload, driving benign guest I/O after each fault and
+// classifying the outcome from the checker's failure-domain counters. The
+// acceptance bar for the robustness layer:
+//   - zero faults escape (no exception ever crosses the proxy hooks, and
+//     the bus backstop counter stays at zero);
+//   - every fault is accounted for: rejected at load, contained by the
+//     failure domain (fail-closed or fail-open), surfaced as an ordinary
+//     violation, or absorbed with protection still armed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+#include "faultinject/faultinject.h"
+
+namespace sedspec::faultinject {
+
+struct CampaignConfig {
+  uint64_t seed = 0xf00d;
+  checker::FailurePolicy policy = checker::FailurePolicy::kFailClosed;
+  /// Devices to sweep; empty = all of guest::workload_names().
+  std::vector<std::string> devices;
+
+  size_t spec_faults_per_device = 60;
+  size_t trace_faults_per_device = 24;
+  size_t dma_faults_per_device = 40;     // DMA-mastering devices only
+  size_t checker_faults_per_device = 40;
+
+  /// Benign operations driven through the bus after each runtime fault.
+  int ops_per_fault = 4;
+  /// Low traversal watchdog so runaway faults resolve quickly.
+  uint64_t watchdog_steps = 1u << 14;
+};
+
+struct LayerOutcomes {
+  uint64_t injected = 0;
+  uint64_t rejected_at_load = 0;  // spec/trace: defect rejected before deploy
+  uint64_t contained = 0;         // resolved at the containment boundary...
+  uint64_t fail_closed = 0;       //   ... by quarantine/block
+  uint64_t fail_open = 0;         //   ... by degraded passthrough
+  uint64_t flagged = 0;           // surfaced as an ordinary violation
+  uint64_t absorbed = 0;          // no observable effect; protection armed
+  uint64_t escaped = 0;           // exception crossed the harness — must be 0
+
+  void add(const LayerOutcomes& other);
+  /// injected == rejected_at_load + contained + flagged + absorbed + escaped
+  [[nodiscard]] bool accounted() const;
+};
+
+struct CampaignResult {
+  LayerOutcomes by_layer[kLayerCount];
+  /// Spec-layer rejection reasons, indexed by spec::LoadStatus.
+  uint64_t spec_rejections_by_status[8] = {};
+  /// Bus backstop hits across all devices — must stay 0 (the checker is
+  /// expected to contain its own faults).
+  uint64_t proxy_faults = 0;
+  uint64_t devices_run = 0;
+
+  [[nodiscard]] LayerOutcomes total() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config = {});
+
+}  // namespace sedspec::faultinject

@@ -1,0 +1,238 @@
+#include "faultinject/faultinject.h"
+
+#include <memory>
+#include <sstream>
+
+#include "spec/serial.h"
+#include "trace/packets.h"
+#include "vdev/dma.h"
+
+namespace sedspec::faultinject {
+
+std::string layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kSpec:
+      return "spec";
+    case Layer::kTrace:
+      return "trace";
+    case Layer::kDma:
+      return "dma";
+    case Layer::kChecker:
+      return "checker";
+  }
+  return "?";
+}
+
+namespace {
+
+void put_u32_le(std::vector<uint8_t>& bytes, size_t at, uint32_t v) {
+  bytes[at] = static_cast<uint8_t>(v);
+  bytes[at + 1] = static_cast<uint8_t>(v >> 8);
+  bytes[at + 2] = static_cast<uint8_t>(v >> 16);
+  bytes[at + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::string corrupt_spec(std::vector<uint8_t>& bytes, SpecFaultKind kind,
+                         Rng& rng) {
+  std::ostringstream desc;
+  if (bytes.empty()) {
+    return "empty artifact (no fault applied)";
+  }
+  switch (kind) {
+    case SpecFaultKind::kBitFlip: {
+      const size_t at = rng.below(bytes.size());
+      const uint8_t bit = static_cast<uint8_t>(1u << rng.below(8));
+      bytes[at] ^= bit;
+      desc << "bit flip at byte " << at;
+      break;
+    }
+    case SpecFaultKind::kTruncate: {
+      const size_t cut = rng.below(bytes.size());
+      bytes.resize(cut);
+      desc << "truncated to " << cut << " bytes";
+      break;
+    }
+    case SpecFaultKind::kVersionSkew: {
+      if (bytes.size() < spec::kSpecEnvelopeSize) {
+        bytes.clear();
+        desc << "artifact smaller than envelope; cleared";
+        break;
+      }
+      // Future or past format version; the CRC covers only the payload, so
+      // the skew is what the loader must catch.
+      const uint32_t skewed =
+          spec::kSpecFormatVersion +
+          (rng.chance(0.5) ? static_cast<uint32_t>(rng.range(1, 5))
+                           : static_cast<uint32_t>(-rng.range(1, 2)));
+      put_u32_le(bytes, 4, skewed);
+      desc << "format version skewed to " << skewed;
+      break;
+    }
+    case SpecFaultKind::kPayloadGarble: {
+      if (bytes.size() <= spec::kSpecEnvelopeSize) {
+        bytes.clear();
+        desc << "no payload to garble; cleared";
+        break;
+      }
+      const size_t flips = 1 + rng.below(8);
+      for (size_t i = 0; i < flips; ++i) {
+        const size_t at = spec::kSpecEnvelopeSize +
+                          rng.below(bytes.size() - spec::kSpecEnvelopeSize);
+        bytes[at] ^= static_cast<uint8_t>(1u << rng.below(8));
+      }
+      // Reseal: the envelope validates, so the *structural* decoder is what
+      // stands between this corruption and the checker.
+      spec::reseal(bytes);
+      desc << "payload garbled (" << flips << " bit flips, envelope resealed)";
+      break;
+    }
+  }
+  return desc.str();
+}
+
+namespace {
+
+struct PacketSpan {
+  size_t offset = 0;
+  size_t len = 0;
+};
+
+std::vector<PacketSpan> scan_packets(const std::vector<uint8_t>& bytes) {
+  std::vector<PacketSpan> out;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    size_t len = 0;
+    switch (bytes[off]) {
+      case trace::kOpPge:
+      case trace::kOpTip:
+        len = 9;
+        break;
+      case trace::kOpPgd:
+        len = 1;
+        break;
+      case trace::kOpTnt:
+        len = 2;
+        break;
+      default:
+        return out;  // already-corrupt tail: stop scanning
+    }
+    if (off + len > bytes.size()) {
+      return out;
+    }
+    out.push_back(PacketSpan{off, len});
+    off += len;
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t corrupt_packets(std::vector<uint8_t>& bytes, TraceFaultKind kind,
+                       size_t count, Rng& rng) {
+  size_t applied = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const std::vector<PacketSpan> packets = scan_packets(bytes);
+    if (packets.empty()) {
+      break;
+    }
+    const PacketSpan p = packets[rng.below(packets.size())];
+    switch (kind) {
+      case TraceFaultKind::kDropPacket:
+        bytes.erase(bytes.begin() + static_cast<ptrdiff_t>(p.offset),
+                    bytes.begin() + static_cast<ptrdiff_t>(p.offset + p.len));
+        break;
+      case TraceFaultKind::kDuplicatePacket: {
+        const std::vector<uint8_t> copy(
+            bytes.begin() + static_cast<ptrdiff_t>(p.offset),
+            bytes.begin() + static_cast<ptrdiff_t>(p.offset + p.len));
+        bytes.insert(bytes.begin() + static_cast<ptrdiff_t>(p.offset + p.len),
+                     copy.begin(), copy.end());
+        break;
+      }
+      case TraceFaultKind::kGarbleByte:
+        bytes[p.offset + rng.below(p.len)] ^=
+            static_cast<uint8_t>(1u << rng.below(8));
+        break;
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+bool arm_dma_faults(Device& device, DmaFaultKind kind, size_t count,
+                    uint64_t seed) {
+  DmaEngine* dma = device.dma_engine();
+  if (dma == nullptr) {
+    return false;
+  }
+  auto remaining = std::make_shared<size_t>(count);
+  auto rng = std::make_shared<Rng>(seed);
+  dma->set_fault_hook(
+      [remaining, rng, kind](bool /*is_read*/, uint64_t /*addr*/,
+                             size_t len) -> std::optional<DmaEngine::DmaFault> {
+        if (*remaining == 0) {
+          return std::nullopt;
+        }
+        --*remaining;
+        DmaEngine::DmaFault fault;
+        if (kind == DmaFaultKind::kFailTransfer) {
+          fault.fail = true;
+        } else {
+          fault.short_len = len == 0 ? 0 : rng->below(len);
+        }
+        return fault;
+      });
+  return true;
+}
+
+void disarm_dma_faults(Device& device) {
+  if (DmaEngine* dma = device.dma_engine(); dma != nullptr) {
+    dma->set_fault_hook(nullptr);
+  }
+}
+
+void arm_checker_faults(checker::EsChecker& checker, CheckerFaultKind kind,
+                        size_t count, uint64_t seed) {
+  auto remaining = std::make_shared<size_t>(count);
+  auto rng = std::make_shared<Rng>(seed);
+  checker.set_fault_hook(
+      [remaining, rng,
+       kind](StateArena& shadow) -> checker::EsChecker::InternalFault {
+        checker::EsChecker::InternalFault fault;
+        if (*remaining == 0) {
+          return fault;
+        }
+        --*remaining;
+        switch (kind) {
+          case CheckerFaultKind::kThrow:
+            fault.throw_in_traversal = true;
+            break;
+          case CheckerFaultKind::kShadowCorrupt: {
+            // Overwrite one random scalar field of the shadow state — the
+            // simulation diverges from the device mid-round.
+            const StateLayout& layout = shadow.layout();
+            const size_t n = layout.field_count();
+            for (size_t tries = 0; tries < n; ++tries) {
+              const auto id = static_cast<ParamId>(rng->below(n));
+              if (!layout.field(id).is_buffer()) {
+                shadow.set_param(id, rng->next_u64());
+                break;
+              }
+            }
+            break;
+          }
+          case CheckerFaultKind::kRunaway:
+            fault.suppress_termination = true;
+            break;
+        }
+        return fault;
+      });
+}
+
+void disarm_checker_faults(checker::EsChecker& checker) {
+  checker.set_fault_hook(nullptr);
+}
+
+}  // namespace sedspec::faultinject

@@ -6,6 +6,12 @@ namespace sedspec::pipeline {
 
 CollectionResult collect(Device& device,
                          const std::function<void()>& training) {
+  return collect(device, training, CollectOptions{});
+}
+
+CollectionResult collect(Device& device,
+                         const std::function<void()>& training,
+                         const CollectOptions& options) {
   CollectionResult out;
 
   // Pass 1: IPT-style trace, filtered to the device's code range with
@@ -21,7 +27,10 @@ CollectionResult collect(Device& device,
   training();
   device.ictx().set_trace_sink(nullptr);
 
-  const std::vector<uint8_t> packets = encoder.finish();
+  std::vector<uint8_t> packets = encoder.finish();
+  if (options.packet_tap) {
+    options.packet_tap(packets);
+  }
   out.trace_bytes = packets.size();
   cfg::ItcCfgBuilder itc_builder;
   itc_builder.feed_all(trace::decode(packets));
@@ -73,6 +82,44 @@ std::unique_ptr<checker::EsChecker> deploy(const spec::EsCfg& cfg,
   checker::EsChecker* raw = checker.get();
   device.set_internal_activity_hook([raw] { raw->resync(); });
   return checker;
+}
+
+DeployOutcome deploy_serialized(std::span<const uint8_t> bytes,
+                                Device& device, IoBus& bus,
+                                checker::CheckerConfig config) {
+  DeployOutcome out;
+  spec::LoadResult loaded = spec::load(bytes);
+  if (!loaded.ok()) {
+    out.error = loaded.error;
+    log_warn("pipeline") << device.name()
+                         << ": rejected spec — " << out.error.describe();
+    return out;
+  }
+  if (loaded.cfg->device_name != device.program().device_name()) {
+    out.error.status = spec::LoadStatus::kDeviceMismatch;
+    out.error.detail = "spec is for '" + loaded.cfg->device_name +
+                       "', device is '" + device.program().device_name() +
+                       "'";
+    log_warn("pipeline") << device.name()
+                         << ": rejected spec — " << out.error.describe();
+    return out;
+  }
+  out.cfg = std::make_unique<spec::EsCfg>(std::move(*loaded.cfg));
+  try {
+    out.checker = deploy(*out.cfg, device, bus, config);
+  } catch (const std::exception& e) {
+    // The payload decoded structurally but violates a semantic invariant
+    // the checker constructor enforces (dangling site, bad local index…).
+    // Untrusted persistence input, so it is a load rejection, not a bug.
+    out.cfg.reset();
+    bus.set_proxy(nullptr);
+    device.set_internal_activity_hook({});
+    out.error.status = spec::LoadStatus::kMalformed;
+    out.error.detail = e.what();
+    log_warn("pipeline") << device.name()
+                         << ": rejected spec — " << out.error.describe();
+  }
+  return out;
 }
 
 }  // namespace sedspec::pipeline

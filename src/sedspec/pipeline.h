@@ -21,6 +21,7 @@
 #include "checker/checker.h"
 #include "dataflow/dataflow.h"
 #include "spec/builder.h"
+#include "spec/serial.h"
 #include "statelog/statelog.h"
 #include "trace/encoder.h"
 #include "vdev/bus.h"
@@ -35,7 +36,18 @@ struct CollectionResult {
   size_t trace_bytes = 0;
 };
 
+struct CollectOptions {
+  /// Fault-injection seam (faultinject layer 2): invoked on the raw packet
+  /// buffer between the tracer and the ITC-CFG decoder, where a lossy or
+  /// garbling trace transport would sit. The tap may drop, duplicate, or
+  /// corrupt packets in place.
+  std::function<void(std::vector<uint8_t>&)> packet_tap;
+};
+
 /// Phase 1: trace pass + analysis + observation pass.
+CollectionResult collect(Device& device,
+                         const std::function<void()>& training,
+                         const CollectOptions& options);
 CollectionResult collect(Device& device,
                          const std::function<void()>& training);
 
@@ -50,6 +62,24 @@ CollectionResult collect(Device& device,
 /// Phase 3: create a checker and install it as the bus proxy.
 [[nodiscard]] std::unique_ptr<checker::EsChecker> deploy(
     const spec::EsCfg& cfg, Device& device, IoBus& bus,
+    checker::CheckerConfig config = {});
+
+/// Phase 3 from persisted bytes. On any defect — corrupt envelope,
+/// malformed payload, spec/device name mismatch — no checker is installed
+/// (the bus proxy is untouched) and `error` says why. This is the
+/// trust boundary a real deployment crosses when it loads a specification
+/// from storage; it must reject, never abort.
+struct DeployOutcome {
+  std::unique_ptr<checker::EsChecker> checker;
+  /// Owns the deserialized spec the checker points into.
+  std::unique_ptr<spec::EsCfg> cfg;
+  spec::LoadError error;
+
+  [[nodiscard]] bool ok() const { return checker != nullptr; }
+};
+
+[[nodiscard]] DeployOutcome deploy_serialized(
+    std::span<const uint8_t> bytes, Device& device, IoBus& bus,
     checker::CheckerConfig config = {});
 
 }  // namespace sedspec::pipeline

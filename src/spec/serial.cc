@@ -1,13 +1,71 @@
 #include "spec/serial.h"
 
-#include "common/assert.h"
+#include "common/crc32.h"
+#include "common/decode.h"
 
 namespace sedspec::spec {
 
 namespace {
+
 constexpr uint32_t kMagic = 0x53455343u;  // "SESC"
-constexpr uint32_t kVersion = 1;
+
+/// Corrupt payloads could otherwise nest unary/cast chains deep enough to
+/// overflow the stack; no legitimate device expression comes close.
+constexpr int kMaxExprDepth = 256;
+
+void put_u32_at(std::vector<uint8_t>& bytes, size_t pos, uint32_t v) {
+  bytes[pos + 0] = static_cast<uint8_t>(v);
+  bytes[pos + 1] = static_cast<uint8_t>(v >> 8);
+  bytes[pos + 2] = static_cast<uint8_t>(v >> 16);
+  bytes[pos + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t get_u32_at(std::span<const uint8_t> bytes, size_t pos) {
+  return static_cast<uint32_t>(bytes[pos]) |
+         (static_cast<uint32_t>(bytes[pos + 1]) << 8) |
+         (static_cast<uint32_t>(bytes[pos + 2]) << 16) |
+         (static_cast<uint32_t>(bytes[pos + 3]) << 24);
+}
+
+template <typename Enum>
+Enum decode_enum(uint8_t raw, Enum max, const char* what) {
+  SEDSPEC_CHECK_DECODE(raw <= static_cast<uint8_t>(max), what);
+  return static_cast<Enum>(raw);
+}
+
+ExprRef read_expr_at(sedspec::ByteReader& r, int depth);
+
 }  // namespace
+
+std::string load_status_name(LoadStatus s) {
+  switch (s) {
+    case LoadStatus::kOk:
+      return "ok";
+    case LoadStatus::kTooShort:
+      return "too short";
+    case LoadStatus::kBadMagic:
+      return "bad magic";
+    case LoadStatus::kVersionSkew:
+      return "version skew";
+    case LoadStatus::kLengthMismatch:
+      return "length mismatch";
+    case LoadStatus::kCrcMismatch:
+      return "crc mismatch";
+    case LoadStatus::kMalformed:
+      return "malformed payload";
+    case LoadStatus::kDeviceMismatch:
+      return "device mismatch";
+  }
+  return "?";
+}
+
+std::string LoadError::describe() const {
+  std::string out = load_status_name(status);
+  if (!detail.empty()) {
+    out += ": " + detail;
+  }
+  return out;
+}
 
 void write_expr(sedspec::ByteWriter& w, const ExprRef& e) {
   if (e == nullptr) {
@@ -48,14 +106,17 @@ void write_expr(sedspec::ByteWriter& w, const ExprRef& e) {
   }
 }
 
-ExprRef read_expr(sedspec::ByteReader& r) {
+namespace {
+
+ExprRef read_expr_at(sedspec::ByteReader& r, int depth) {
+  SEDSPEC_CHECK_DECODE(depth < kMaxExprDepth, "expression nests too deep");
   const uint8_t tag = r.u8();
   if (tag == 0xff) {
     return nullptr;
   }
   sedspec::Expr e;
-  e.kind = static_cast<sedspec::ExprKind>(tag);
-  e.type = static_cast<sedspec::IntType>(r.u8());
+  e.kind = decode_enum(tag, sedspec::ExprKind::kCast, "bad expression tag");
+  e.type = decode_enum(r.u8(), sedspec::IntType::kI64, "bad expression type");
   switch (e.kind) {
     case sedspec::ExprKind::kConst:
       e.const_value = r.u64();
@@ -67,29 +128,34 @@ ExprRef read_expr(sedspec::ByteReader& r) {
       e.local = r.u16();
       break;
     case sedspec::ExprKind::kIoField:
-      e.io_field = static_cast<sedspec::IoField>(r.u8());
+      e.io_field =
+          decode_enum(r.u8(), sedspec::IoField::kSpace, "bad I/O field tag");
       break;
     case sedspec::ExprKind::kBufLoad:
       e.param = r.u16();
-      e.lhs = read_expr(r);
+      e.lhs = read_expr_at(r, depth + 1);
       break;
     case sedspec::ExprKind::kUnary:
-      e.un_op = static_cast<sedspec::UnaryOp>(r.u8());
-      e.lhs = read_expr(r);
+      e.un_op = decode_enum(r.u8(), sedspec::UnaryOp::kLogicalNot,
+                            "bad unary operator");
+      e.lhs = read_expr_at(r, depth + 1);
       break;
     case sedspec::ExprKind::kBinary:
-      e.bin_op = static_cast<sedspec::BinaryOp>(r.u8());
-      e.lhs = read_expr(r);
-      e.rhs = read_expr(r);
+      e.bin_op =
+          decode_enum(r.u8(), sedspec::BinaryOp::kLOr, "bad binary operator");
+      e.lhs = read_expr_at(r, depth + 1);
+      e.rhs = read_expr_at(r, depth + 1);
       break;
     case sedspec::ExprKind::kCast:
-      e.lhs = read_expr(r);
+      e.lhs = read_expr_at(r, depth + 1);
       break;
-    default:
-      SEDSPEC_REQUIRE_MSG(false, "bad expression tag");
   }
   return std::make_shared<const sedspec::Expr>(std::move(e));
 }
+
+}  // namespace
+
+ExprRef read_expr(sedspec::ByteReader& r) { return read_expr_at(r, 0); }
 
 void write_stmt(sedspec::ByteWriter& w, const sedspec::Stmt& s) {
   w.u8(static_cast<uint8_t>(s.kind));
@@ -103,7 +169,8 @@ void write_stmt(sedspec::ByteWriter& w, const sedspec::Stmt& s) {
 
 sedspec::Stmt read_stmt(sedspec::ByteReader& r) {
   sedspec::Stmt s;
-  s.kind = static_cast<sedspec::StmtKind>(r.u8());
+  s.kind =
+      decode_enum(r.u8(), sedspec::StmtKind::kBufFill, "bad statement kind");
   s.param = r.u16();
   s.local = r.u16();
   s.value = read_expr(r);
@@ -129,12 +196,7 @@ CondDir read_cond_dir(sedspec::ByteReader& r) {
   return d;
 }
 
-}  // namespace
-
-std::vector<uint8_t> serialize(const EsCfg& cfg) {
-  sedspec::ByteWriter w;
-  w.u32(kMagic);
-  w.u32(kVersion);
+void write_payload(sedspec::ByteWriter& w, const EsCfg& cfg) {
   w.str(cfg.device_name);
   w.u64(cfg.trained_rounds);
   w.u64(cfg.blocks_before_reduction);
@@ -198,13 +260,10 @@ std::vector<uint8_t> serialize(const EsCfg& cfg) {
   for (LocalId l : cfg.sync_locals) {
     w.u16(l);
   }
-  return w.take();
 }
 
-EsCfg deserialize(std::span<const uint8_t> bytes) {
-  sedspec::ByteReader r(bytes);
-  SEDSPEC_REQUIRE_MSG(r.u32() == kMagic, "bad ES-CFG magic");
-  SEDSPEC_REQUIRE_MSG(r.u32() == kVersion, "unsupported ES-CFG version");
+EsCfg read_payload(std::span<const uint8_t> payload) {
+  sedspec::ByteReader r(payload);
   EsCfg cfg;
   cfg.device_name = r.str();
   cfg.trained_rounds = r.u64();
@@ -220,7 +279,8 @@ EsCfg deserialize(std::span<const uint8_t> bytes) {
   const uint32_t n_entries = r.u32();
   for (uint32_t i = 0; i < n_entries; ++i) {
     IoKey key;
-    key.space = static_cast<sedspec::IoSpace>(r.u8());
+    key.space =
+        decode_enum(r.u8(), sedspec::IoSpace::kMmio, "bad I/O space tag");
     key.addr = r.u64();
     key.is_write = r.u8() != 0;
     cfg.entry_dispatch[key] = r.u16();
@@ -231,7 +291,7 @@ EsCfg deserialize(std::span<const uint8_t> bytes) {
     const SiteId site = r.u16();
     EsBlock b;
     b.site = site;
-    b.kind = static_cast<BlockKind>(r.u8());
+    b.kind = decode_enum(r.u8(), BlockKind::kCmdEnd, "bad block kind");
     b.name = r.str();
     const uint32_t n_stmts = r.u32();
     for (uint32_t j = 0; j < n_stmts; ++j) {
@@ -275,8 +335,78 @@ EsCfg deserialize(std::span<const uint8_t> bytes) {
   for (uint32_t i = 0; i < n_sync; ++i) {
     cfg.sync_locals.insert(r.u16());
   }
-  SEDSPEC_REQUIRE_MSG(r.done(), "trailing bytes after ES-CFG");
+  SEDSPEC_CHECK_DECODE(r.done(), "trailing bytes after ES-CFG");
   return cfg;
+}
+
+}  // namespace
+
+std::vector<uint8_t> serialize(const EsCfg& cfg) {
+  sedspec::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kSpecFormatVersion);
+  w.u32(0);  // payload length, patched below
+  w.u32(0);  // payload crc32, patched below
+  write_payload(w, cfg);
+  std::vector<uint8_t> bytes = w.take();
+  reseal(bytes);
+  return bytes;
+}
+
+void reseal(std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kSpecEnvelopeSize) {
+    return;
+  }
+  const std::span<const uint8_t> payload{bytes.data() + kSpecEnvelopeSize,
+                                         bytes.size() - kSpecEnvelopeSize};
+  put_u32_at(bytes, 8, static_cast<uint32_t>(payload.size()));
+  put_u32_at(bytes, 12, crc32(payload));
+}
+
+LoadResult load(std::span<const uint8_t> bytes) {
+  LoadResult out;
+  auto fail = [&out](LoadStatus status, std::string detail) -> LoadResult& {
+    out.error.status = status;
+    out.error.detail = std::move(detail);
+    return out;
+  };
+
+  if (bytes.size() < kSpecEnvelopeSize) {
+    return fail(LoadStatus::kTooShort,
+                std::to_string(bytes.size()) + " bytes, envelope needs " +
+                    std::to_string(kSpecEnvelopeSize));
+  }
+  if (get_u32_at(bytes, 0) != kMagic) {
+    return fail(LoadStatus::kBadMagic, "not an ES-CFG artifact");
+  }
+  const uint32_t version = get_u32_at(bytes, 4);
+  if (version != kSpecFormatVersion) {
+    return fail(LoadStatus::kVersionSkew,
+                "format v" + std::to_string(version) + ", expected v" +
+                    std::to_string(kSpecFormatVersion));
+  }
+  const std::span<const uint8_t> payload = bytes.subspan(kSpecEnvelopeSize);
+  if (get_u32_at(bytes, 8) != payload.size()) {
+    return fail(LoadStatus::kLengthMismatch,
+                "envelope claims " + std::to_string(get_u32_at(bytes, 8)) +
+                    " payload bytes, " + std::to_string(payload.size()) +
+                    " present");
+  }
+  if (get_u32_at(bytes, 12) != crc32(payload)) {
+    return fail(LoadStatus::kCrcMismatch, "payload integrity check failed");
+  }
+  try {
+    out.cfg = read_payload(payload);
+  } catch (const sedspec::DecodeError& e) {
+    return fail(LoadStatus::kMalformed, e.what());
+  }
+  return out;
+}
+
+EsCfg deserialize(std::span<const uint8_t> bytes) {
+  LoadResult r = load(bytes);
+  SEDSPEC_CHECK_DECODE(r.ok(), r.error.describe());
+  return std::move(*r.cfg);
 }
 
 }  // namespace sedspec::spec

@@ -88,7 +88,7 @@ std::vector<uint8_t> DeviceStateLog::serialize() const {
 
 DeviceStateLog DeviceStateLog::deserialize(std::span<const uint8_t> bytes) {
   sedspec::ByteReader r(bytes);
-  SEDSPEC_REQUIRE_MSG(r.u32() == 0x5345444cu, "bad state log magic");
+  SEDSPEC_CHECK_DECODE(r.u32() == 0x5345444cu, "bad state log magic");
   const uint64_t n = r.u64();
   DeviceStateLog log;
   for (uint64_t i = 0; i < n; ++i) {
@@ -129,7 +129,7 @@ DeviceStateLog DeviceStateLog::deserialize(std::span<const uint8_t> bytes) {
       case EntryKind::kRoundEnd:
         break;
       default:
-        SEDSPEC_REQUIRE_MSG(false, "unknown state log entry kind");
+        SEDSPEC_CHECK_DECODE(false, "unknown state log entry kind");
     }
     log.append(std::move(e));
   }

@@ -1,6 +1,6 @@
 #include "trace/packets.h"
 
-#include "common/assert.h"
+#include "common/decode.h"
 
 namespace sedspec::trace {
 
@@ -30,7 +30,7 @@ std::vector<TraceEvent> decode(std::span<const uint8_t> bytes) {
       }
       case kOpTnt: {
         const uint8_t header = reader.u8();
-        SEDSPEC_REQUIRE_MSG(header != 0, "empty TNT packet");
+        SEDSPEC_CHECK_DECODE(header != 0, "empty TNT packet");
         // Highest set bit is the stop marker; bits below it are outcomes,
         // LSB = oldest branch.
         int stop = 7;
@@ -44,7 +44,7 @@ std::vector<TraceEvent> decode(std::span<const uint8_t> bytes) {
         break;
       }
       default:
-        SEDSPEC_REQUIRE_MSG(false, "unknown trace packet opcode");
+        SEDSPEC_CHECK_DECODE(false, "unknown trace packet opcode");
     }
   }
   return events;

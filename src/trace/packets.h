@@ -63,8 +63,10 @@ inline constexpr uint8_t kOpPgd = 0x02;
 inline constexpr uint8_t kOpTip = 0x03;
 inline constexpr uint8_t kOpTnt = 0x04;
 
-/// Decodes a packet buffer into the event stream. Throws std::logic_error
-/// on malformed input.
+/// Decodes a packet buffer into the event stream. Throws DecodeError on
+/// malformed input (truncated buffer, unknown opcode, empty TNT header) —
+/// a garbled trace is untrusted data, recoverable by the collection
+/// pipeline, not a programming error.
 std::vector<TraceEvent> decode(std::span<const uint8_t> bytes);
 
 }  // namespace sedspec::trace

@@ -21,6 +21,26 @@ void IoBus::exit_cost() const { spin_wait_ns(access_latency_ns_); }
 
 void IoProxy::after_access(Device& /*device*/, const IoAccess& /*io*/) {}
 
+bool IoBus::proxy_allows(Device& dev, const IoAccess& io) {
+  try {
+    return proxy_->before_access(dev, io);
+  } catch (...) {
+    // Contract violation (proxies must contain their own faults): last-
+    // resort fail-closed — block the access rather than crash the VMM or
+    // let an unchecked access through.
+    ++proxy_faults_;
+    return false;
+  }
+}
+
+void IoBus::proxy_done(Device& dev, const IoAccess& io) {
+  try {
+    proxy_->after_access(dev, io);
+  } catch (...) {
+    ++proxy_faults_;
+  }
+}
+
 void IoBus::map(IoSpace space, uint64_t base, uint64_t len, Device* device) {
   SEDSPEC_REQUIRE(device != nullptr && len > 0);
   for (const Mapping& m : mappings_) {
@@ -56,7 +76,7 @@ uint64_t IoBus::read(IoSpace space, uint64_t addr, uint8_t size) {
   io.addr = addr;
   io.size = size;
   io.is_write = false;
-  if (proxy_ != nullptr && !proxy_->before_access(*dev, io)) {
+  if (proxy_ != nullptr && !proxy_allows(*dev, io)) {
     ++blocked_;
     return 0;
   }
@@ -64,7 +84,7 @@ uint64_t IoBus::read(IoSpace space, uint64_t addr, uint8_t size) {
   if (proxy_ != nullptr) {
     IoAccess done = io;
     done.value = value;
-    proxy_->after_access(*dev, done);
+    proxy_done(*dev, done);
   }
   return value;
 }
@@ -86,13 +106,13 @@ void IoBus::write(IoSpace space, uint64_t addr, uint8_t size, uint64_t value) {
   io.size = size;
   io.value = value;
   io.is_write = true;
-  if (proxy_ != nullptr && !proxy_->before_access(*dev, io)) {
+  if (proxy_ != nullptr && !proxy_allows(*dev, io)) {
     ++blocked_;
     return;
   }
   dev->io_write(io);
   if (proxy_ != nullptr) {
-    proxy_->after_access(*dev, io);
+    proxy_done(*dev, io);
   }
 }
 

@@ -19,6 +19,12 @@ class IoProxy {
   virtual ~IoProxy() = default;
   /// Returns false to block the access (the write is dropped / the read
   /// returns 0). The proxy may also halt the device.
+  ///
+  /// Contract: hooks must not throw — a proxy is expected to be its own
+  /// containment domain (EsChecker resolves internal faults via its
+  /// FailurePolicy). The bus still backstops a violating proxy: an escaped
+  /// exception is swallowed, counted in proxy_fault_count(), and treated as
+  /// fail-closed (the access is blocked).
   virtual bool before_access(Device& device, const IoAccess& io) = 0;
 
   /// Called after the device executed a non-blocked access. For reads,
@@ -44,7 +50,10 @@ class IoBus {
 
   [[nodiscard]] uint64_t access_count() const { return accesses_; }
   [[nodiscard]] uint64_t blocked_count() const { return blocked_; }
-  void reset_stats() { accesses_ = blocked_ = 0; }
+  /// Exceptions that escaped the proxy hooks (contract violations absorbed
+  /// by the bus backstop). A healthy deployment keeps this at zero.
+  [[nodiscard]] uint64_t proxy_fault_count() const { return proxy_faults_; }
+  void reset_stats() { accesses_ = blocked_ = proxy_faults_ = 0; }
 
   /// VM-exit cost model for the performance benchmarks: every dispatched
   /// access busy-waits this long, standing in for the KVM exit +
@@ -67,11 +76,14 @@ class IoBus {
   };
 
   void exit_cost() const;
+  bool proxy_allows(Device& dev, const IoAccess& io);
+  void proxy_done(Device& dev, const IoAccess& io);
 
   std::vector<Mapping> mappings_;
   IoProxy* proxy_ = nullptr;
   uint64_t accesses_ = 0;
   uint64_t blocked_ = 0;
+  uint64_t proxy_faults_ = 0;
   uint64_t access_latency_ns_ = 0;
 };
 

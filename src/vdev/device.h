@@ -21,6 +21,8 @@
 
 namespace sedspec {
 
+class DmaEngine;
+
 class Device {
  public:
   /// The device keeps a non-owning pointer to `program`; the caller (usually
@@ -59,6 +61,10 @@ class Device {
   [[nodiscard]] const StateArena& state() const { return arena_; }
   [[nodiscard]] InstrumentationContext& ictx() { return ictx_; }
   [[nodiscard]] IrqLine& irq_line() { return irq_; }
+
+  /// The device's DMA engine, if it masters the bus (fault-injection and
+  /// instrumentation entry point). nullptr for PIO/MMIO-only devices.
+  [[nodiscard]] virtual DmaEngine* dma_engine() { return nullptr; }
 
   [[nodiscard]] const IncidentLog& incidents() const { return incidents_; }
   void clear_incidents() { incidents_.clear(); }

@@ -5,8 +5,12 @@
 // tests can assert on transfer activity.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
+#include <utility>
 
 #include "vdev/memory.h"
 
@@ -16,11 +20,36 @@ class DmaEngine {
  public:
   explicit DmaEngine(GuestMemory* mem) : mem_(mem) {}
 
+  /// Fault-injection seam (faultinject layer 3): consulted before every
+  /// transfer. Returning a DmaFault makes the transfer fail outright
+  /// (`fail`) or complete only `short_len` bytes (reads zero-fill the
+  /// rest); nullopt leaves the transfer untouched. Devices already handle
+  /// `false` returns (they model real DMA to unmapped guest pages), so an
+  /// injected fault exercises exactly those paths.
+  struct DmaFault {
+    bool fail = false;
+    uint64_t short_len = 0;  // honored when !fail
+  };
+  using FaultHook = std::function<std::optional<DmaFault>(
+      bool is_read, uint64_t addr, size_t len)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   /// Guest memory -> device buffer. Returns false on an out-of-range guest
   /// address (the span is zero-filled).
   bool from_guest(uint64_t addr, std::span<uint8_t> out) {
     bytes_read_ += out.size();
     ++transfers_;
+    if (fault_hook_) {
+      if (auto f = fault_hook_(/*is_read=*/true, addr, out.size())) {
+        ++faults_injected_;
+        std::fill(out.begin(), out.end(), uint8_t{0});
+        if (f->fail) {
+          return false;
+        }
+        const size_t n = std::min<size_t>(f->short_len, out.size());
+        return mem_->read(addr, out.subspan(0, n));
+      }
+    }
     return mem_->read(addr, out);
   }
 
@@ -28,6 +57,16 @@ class DmaEngine {
   bool to_guest(uint64_t addr, std::span<const uint8_t> data) {
     bytes_written_ += data.size();
     ++transfers_;
+    if (fault_hook_) {
+      if (auto f = fault_hook_(/*is_read=*/false, addr, data.size())) {
+        ++faults_injected_;
+        if (f->fail) {
+          return false;
+        }
+        const size_t n = std::min<size_t>(f->short_len, data.size());
+        return mem_->write(addr, data.subspan(0, n));
+      }
+    }
     return mem_->write(addr, data);
   }
 
@@ -36,13 +75,18 @@ class DmaEngine {
   [[nodiscard]] uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] uint64_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] uint64_t transfer_count() const { return transfers_; }
-  void reset_stats() { bytes_read_ = bytes_written_ = transfers_ = 0; }
+  [[nodiscard]] uint64_t faults_injected() const { return faults_injected_; }
+  void reset_stats() {
+    bytes_read_ = bytes_written_ = transfers_ = faults_injected_ = 0;
+  }
 
  private:
   GuestMemory* mem_;
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t transfers_ = 0;
+  uint64_t faults_injected_ = 0;
+  FaultHook fault_hook_;
 };
 
 }  // namespace sedspec

@@ -87,7 +87,8 @@ TEST_P(CheckerSuite, StatsBookkeepingIsConsistent) {
   VirtualClock clock;
   wl->test_case(InteractionMode::kRandom, rng, clock, true);
   const auto& s = wl->checker()->stats();
-  EXPECT_EQ(s.rounds, s.clean_rounds + s.warnings + s.blocked);
+  EXPECT_EQ(s.rounds,
+            s.clean_rounds + s.warnings + s.blocked + s.degraded_rounds);
   EXPECT_GT(s.total_steps, 0u);
 }
 

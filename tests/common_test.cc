@@ -35,7 +35,7 @@ TEST(Bytes, ReaderFailsFastPastEnd) {
   std::vector<uint8_t> two = {1, 2};
   ByteReader r(two);
   EXPECT_EQ(r.u16(), 0x0201);
-  EXPECT_THROW((void)r.u8(), std::logic_error);
+  EXPECT_THROW((void)r.u8(), sedspec::DecodeError);
 }
 
 TEST(Bytes, VarbytesLengthValidated) {
@@ -43,7 +43,7 @@ TEST(Bytes, VarbytesLengthValidated) {
   w.u32(1000);  // claims 1000 bytes, provides none
   const auto bytes = w.take();
   ByteReader r(bytes);
-  EXPECT_THROW((void)r.varbytes(), std::logic_error);
+  EXPECT_THROW((void)r.varbytes(), sedspec::DecodeError);
 }
 
 TEST(Bytes, HexFormat) {

@@ -90,7 +90,8 @@ TEST_P(FuzzRobustness, PatchedProtectedSurvivesGarbage) {
   Rng rng(0xbead);
   EXPECT_NO_THROW(hostile_io(wl->bus(), t, rng, 5000));
   const auto& s = wl->checker()->stats();
-  EXPECT_EQ(s.rounds, s.clean_rounds + s.warnings + s.blocked);
+  EXPECT_EQ(s.rounds,
+            s.clean_rounds + s.warnings + s.blocked + s.degraded_rounds);
 }
 
 TEST_P(FuzzRobustness, ProtectionModeHaltsGarbageQuickly) {

@@ -74,13 +74,13 @@ TEST(SpecDeserializer, EveryTruncationFailsCleanly) {
        cut += std::max<size_t>(1, bytes.size() / 97)) {
     std::vector<uint8_t> prefix(bytes.begin(),
                                 bytes.begin() + static_cast<ptrdiff_t>(cut));
-    EXPECT_THROW((void)spec::deserialize(prefix), std::logic_error)
+    EXPECT_THROW((void)spec::deserialize(prefix), sedspec::DecodeError)
         << "prefix length " << cut;
   }
   // Trailing garbage is rejected too.
   std::vector<uint8_t> padded = bytes;
   padded.push_back(0);
-  EXPECT_THROW((void)spec::deserialize(padded), std::logic_error);
+  EXPECT_THROW((void)spec::deserialize(padded), sedspec::DecodeError);
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ TEST(StateLog, BinaryRoundTrip) {
 
 TEST(StateLog, DeserializeRejectsBadMagic) {
   std::vector<uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
-  EXPECT_THROW((void)DeviceStateLog::deserialize(junk), std::logic_error);
+  EXPECT_THROW((void)DeviceStateLog::deserialize(junk), sedspec::DecodeError);
 }
 
 TEST(StateLog, SiteFilterDropsUnplannedPlainSites) {

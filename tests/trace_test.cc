@@ -88,9 +88,9 @@ TEST(TracePackets, KernelSpaceDisabled) {
 
 TEST(TracePackets, MalformedInputThrows) {
   std::vector<uint8_t> junk = {0x99};
-  EXPECT_THROW((void)trace::decode(junk), std::logic_error);
+  EXPECT_THROW((void)trace::decode(junk), sedspec::DecodeError);
   std::vector<uint8_t> truncated = {0x03, 0x01};  // TIP missing bytes
-  EXPECT_THROW((void)trace::decode(truncated), std::logic_error);
+  EXPECT_THROW((void)trace::decode(truncated), sedspec::DecodeError);
 }
 
 // Property: any interleaving of windows, tips, and branch bits survives the
