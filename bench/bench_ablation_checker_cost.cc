@@ -6,6 +6,7 @@
 // interpretation dominates; the strategy switches themselves are cheap).
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.h"
 #include "guest/workload.h"
 
 namespace {
@@ -85,8 +86,12 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench_report::MetricSink sink("ablation_checker_cost");
+  const bool format_overridden =
+      bench_report::format_flag_present(argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench_report::run_with_capture(format_overridden, &sink);
   benchmark::Shutdown();
+  sink.write_json();
   return 0;
 }

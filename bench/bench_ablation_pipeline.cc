@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "cfg/itc_cfg.h"
+#include "gbench_json.h"
 #include "guest/workload.h"
 #include "sedspec/pipeline.h"
 #include "spec/builder.h"
@@ -75,7 +76,7 @@ void BM_EsCfgConstruction(benchmark::State& state,
                           static_cast<int64_t>(collected.log.round_count()));
 }
 
-void print_reduction_stats() {
+void print_reduction_stats(bench_report::MetricSink& sink) {
   std::printf(
       "\nControl-flow reduction / spec size per device.\n"
       "Reduction part 1 (paper §IV-A/§V-C) happens at collection time: only\n"
@@ -89,13 +90,19 @@ void print_reduction_stats() {
     spec::EsCfg cfg =
         pipeline::build_spec(wl->device(), [&] { wl->training(); });
     const size_t sites = wl->device().program().site_count();
+    const size_t spec_bytes = spec::serialize(cfg).size();
     std::printf("%-10s %8zu %8zu %8zu %8llu %8llu %10zu %8llu\n",
                 device.c_str(), sites, cfg.blocks.size(),
                 sites - cfg.blocks.size(),
                 (unsigned long long)cfg.merged_conditionals,
-                (unsigned long long)cfg.spliced_blocks,
-                spec::serialize(cfg).size(),
+                (unsigned long long)cfg.spliced_blocks, spec_bytes,
                 (unsigned long long)cfg.trained_rounds);
+    sink.put("reduction/" + device + "/blocks",
+             static_cast<double>(cfg.blocks.size()));
+    sink.put("reduction/" + device + "/filtered",
+             static_cast<double>(sites - cfg.blocks.size()));
+    sink.put("reduction/" + device + "/spec_bytes",
+             static_cast<double>(spec_bytes));
   }
   std::printf("\n");
 }
@@ -112,9 +119,13 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMicrosecond)
         ->MinTime(0.05);
   }
+  bench_report::MetricSink sink("ablation_pipeline");
+  const bool format_overridden =
+      bench_report::format_flag_present(argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  print_reduction_stats();
+  bench_report::run_with_capture(format_overridden, &sink);
+  print_reduction_stats(sink);
   benchmark::Shutdown();
+  sink.write_json();
   return 0;
 }

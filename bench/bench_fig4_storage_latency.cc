@@ -15,6 +15,7 @@ int main() {
   set_log_level(LogLevel::kError);
   bench_report::title(
       "Figure 4 — Normalized storage latency (baseline = 1.000)");
+  bench_report::MetricSink sink("fig4_storage_latency");
 
   // Byte-PIO devices (FDC, SDHCI) pay a VM exit per data byte, so their
   // sweep and byte budget are smaller to keep wall time sane; DMA-style
@@ -54,11 +55,19 @@ int main() {
                   sed.write_latency_us, sed.read_latency_us,
                   sed.write_latency_us / base.write_latency_us,
                   sed.read_latency_us / base.read_latency_us);
+      const std::string key =
+          name + "/" + bench_report::human_size(block) + "/";
+      sink.put(key + "write_us_per_op", sed.write_latency_us);
+      sink.put(key + "read_us_per_op", sed.read_latency_us);
+      sink.put(key + "norm_write",
+               sed.write_latency_us / base.write_latency_us);
+      sink.put(key + "norm_read", sed.read_latency_us / base.read_latency_us);
     }
     bench_report::rule();
   }
   std::printf(
       "Shape check: normalized latency stays near 1.0 (paper: < 5%% added\n"
       "latency across block sizes).\n");
+  sink.write_json();
   return 0;
 }

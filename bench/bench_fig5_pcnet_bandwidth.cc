@@ -17,14 +17,18 @@ int main() {
   using namespace sedspec;
   set_log_level(LogLevel::kError);
   bench_report::title("Figure 5 — PCNet bandwidth benchmark");
+  bench_report::MetricSink sink("fig5_pcnet_bandwidth");
 
   const int kFrames = 4000;
   const auto base = benchsim::measure_pcnet_bandwidth(false, kFrames);
   const auto sed = benchsim::measure_pcnet_bandwidth(true, kFrames);
 
-  auto row = [](const char* label, double b, double s, double paper_loss) {
+  auto row = [&sink](const char* label, double b, double s,
+                     double paper_loss) {
     std::printf("%-16s | %10.1f %10.1f | %9.1f%% | %9.1f%%\n", label, b, s,
                 (1.0 - s / b) * 100.0, paper_loss);
+    sink.put(std::string(label) + "/sed_mbps", s);
+    sink.put(std::string(label) + "/loss_percent", (1.0 - s / b) * 100.0);
   };
   std::printf("%-16s | %10s %10s | %10s | %10s\n", "Stream", "base Mb/s",
               "sed Mb/s", "loss", "paper");
@@ -48,5 +52,9 @@ int main() {
   std::printf(
       "\nShape check: upstream/downstream and TCP/UDP losses stay in the\n"
       "single-digit percent range; ping overhead stays near 10%%.\n");
+  sink.put("ping/base_ms", base_ms);
+  sink.put("ping/sed_ms", sed_ms);
+  sink.put("ping/overhead_percent", (sed_ms / base_ms - 1.0) * 100.0);
+  sink.write_json();
   return 0;
 }

@@ -17,6 +17,7 @@ int main() {
   using namespace sedspec;
   bench_report::title(
       "Table I — Selection of Device State Parameters (per device)");
+  bench_report::MetricSink sink("table1_param_selection");
 
   for (const std::string& name : guest::workload_names()) {
     auto wl = guest::make_workload(name);
@@ -40,10 +41,18 @@ int main() {
         std::printf(" %s", f.c_str());
       }
       std::printf("\n");
+      sink.put(name + "/" + rule, static_cast<double>(fields.size()));
     }
     std::printf("  observation points: %zu of %zu sites\n\n",
                 collected.selection.observation_sites.size(),
                 wl->device().program().site_count());
+    sink.put(name + "/params_selected",
+             static_cast<double>(collected.selection.params.size()));
+    sink.put(name + "/observation_points",
+             static_cast<double>(collected.selection.observation_sites.size()));
+    sink.put(name + "/itc_cfg_nodes",
+             static_cast<double>(collected.itc_cfg.node_count()));
   }
+  sink.write_json();
   return 0;
 }

@@ -32,6 +32,7 @@ int main() {
   using namespace sedspec;
   set_log_level(LogLevel::kError);
   bench_report::title("Table II — False Positives Over Time (virtual hours)");
+  bench_report::MetricSink sink("table2_false_positives");
 
   std::printf("%-10s | %8s %8s %8s | %8s %8s %8s | %10s %8s\n", "Device",
               "10h", "20h", "30h", "paper10", "paper20", "paper30", "cases",
@@ -60,6 +61,13 @@ int main() {
                 (unsigned long long)result.snapshots[2].false_positives,
                 paper->fp10, paper->fp20, paper->fp30,
                 (unsigned long long)result.total_cases, result.fpr() * 100.0);
+    sink.put(name + "/fp_10h",
+             static_cast<double>(result.snapshots[0].false_positives));
+    sink.put(name + "/fp_20h",
+             static_cast<double>(result.snapshots[1].false_positives));
+    sink.put(name + "/fp_30h",
+             static_cast<double>(result.snapshots[2].false_positives));
+    sink.put(name + "/fpr_percent", result.fpr() * 100.0);
   }
   bench_report::rule();
   std::printf(
@@ -94,7 +102,11 @@ int main() {
     }
     std::printf("%-10s | %11.3f%% %11.3f%% %11.3f%%\n", name.c_str(), fprs[0],
                 fprs[1], fprs[2]);
+    sink.put(name + "/mode_fpr/sequential", fprs[0]);
+    sink.put(name + "/mode_fpr/random", fprs[1]);
+    sink.put(name + "/mode_fpr/random_delay", fprs[2]);
   }
   bench_report::rule(56);
+  sink.write_json();
   return 0;
 }

@@ -38,6 +38,7 @@ int main() {
   using bench_report::mark;
 
   bench_report::title("Table III — Main results: CVE detection matrix");
+  bench_report::MetricSink sink("table3_main_results");
   std::printf("%-15s %-9s %-8s | %5s %5s %5s | %-8s | %-7s %-9s\n", "CVE",
               "Device", "QEMU", "Param", "Indir", "Cond", "paper", "detect",
               "prevented");
@@ -55,6 +56,11 @@ int main() {
                 info.qemu_version.c_str(), mark(m.parameter),
                 mark(m.indirect), mark(m.conditional), paper,
                 mark(m.detected), mark(!m.protected_compromised));
+    sink.put(info.cve + "/parameter", m.parameter ? 1 : 0);
+    sink.put(info.cve + "/indirect", m.indirect ? 1 : 0);
+    sink.put(info.cve + "/conditional", m.conditional ? 1 : 0);
+    sink.put(info.cve + "/detected", m.detected ? 1 : 0);
+    sink.put(info.cve + "/prevented", m.protected_compromised ? 0 : 1);
   }
   bench_report::rule();
   std::printf(
@@ -82,7 +88,10 @@ int main() {
     std::printf("%-10s | %8.3f%% %8.2f%% | %8.1f%% %8.1f%%\n", row.device,
                 fp.fpr() * 100.0, row.fpr_percent, coverage * 100.0,
                 row.coverage_percent);
+    sink.put(std::string(row.device) + "/fpr_percent", fp.fpr() * 100.0);
+    sink.put(std::string(row.device) + "/coverage_percent", coverage * 100.0);
   }
   bench_report::rule(58);
+  sink.write_json();
   return 0;
 }

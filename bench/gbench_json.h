@@ -1,0 +1,73 @@
+// google-benchmark reporter that mirrors each run into a MetricSink while
+// delegating console output to the stock ConsoleReporter, so the human-
+// readable output stays what `RunSpecifiedBenchmarks()` prints.
+//
+// Used by the two ablation benches: call run_with_capture(argc, argv,
+// &sink) after Initialize(), then sink.write_json() after Shutdown() to
+// get BENCH_<name>.json with one entry per benchmark (value = adjusted
+// real time in the benchmark's reported time unit) plus one entry per
+// user counter.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
+
+#include "report.h"
+
+namespace bench_report {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  // OO_None matches the library's own defaults for piped output (color and
+  // tabular counters are opt-in flags there), keeping redirected stdout
+  // byte-identical to a run without the capture reporter.
+  explicit JsonCaptureReporter(MetricSink* sink)
+      : benchmark::ConsoleReporter(OO_None), sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      sink_->put(run.benchmark_name(), run.GetAdjustedRealTime());
+      for (const auto& [name, counter] : run.counters) {
+        sink_->put(run.benchmark_name() + "/" + name,
+                   static_cast<double>(counter.value));
+      }
+    }
+  }
+
+ private:
+  MetricSink* sink_;
+};
+
+/// True when the command line asks for a non-console format
+/// (--benchmark_format=json/csv). Must be checked BEFORE
+/// benchmark::Initialize(), which strips recognized flags from argv.
+inline bool format_flag_present(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_format", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Runs the registered benchmarks, capturing results into `sink`. When the
+/// caller asked for a non-console format, an explicit display reporter
+/// would override that flag, so capture is skipped and the library renders
+/// the requested format untouched (the sidecar is then empty — format
+/// overrides are a manual-inspection path).
+inline void run_with_capture(bool format_overridden, MetricSink* sink) {
+  if (format_overridden) {
+    benchmark::RunSpecifiedBenchmarks();
+    return;
+  }
+  JsonCaptureReporter reporter(sink);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+}
+
+}  // namespace bench_report

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 
 namespace bench_report {
@@ -30,5 +31,64 @@ inline std::string human_size(size_t bytes) {
   }
   return buf;
 }
+
+/// Machine-readable sidecar for a benchmark binary: a flat metric-name ->
+/// value map written as `BENCH_<bench>.json` next to the binary's cwd so
+/// the perf trajectory can be tracked across PRs. Stdout formatting is
+/// untouched — every bench prints its human tables exactly as before and
+/// additionally `put()`s the numbers it prints.
+class MetricSink {
+ public:
+  explicit MetricSink(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void put(const std::string& name, double value) { metrics_[name] = value; }
+
+  /// Writes `BENCH_<bench>.json` as {"bench": "...", "metrics": {...}}.
+  /// Returns false (after a warning on stderr) if the file can't be
+  /// opened; benchmarks still exit 0 in that case — the sidecar is an
+  /// observability aid, not a correctness gate.
+  bool write_json() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
+                 escape(bench_).c_str());
+    bool first = true;
+    for (const auto& [name, value] : metrics_) {
+      std::fprintf(f, "%s\n    \"%s\": %.17g", first ? "" : ",",
+                   escape(name).c_str(), value);
+      first = false;
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    // stderr, not stdout: the human-readable tables on stdout must stay
+    // byte-identical to what the bench printed before the sidecar existed.
+    std::fprintf(stderr, "[bench_report] wrote %s (%zu metrics)\n",
+                 path.c_str(), metrics_.size());
+    return true;
+  }
+
+  [[nodiscard]] size_t size() const { return metrics_.size(); }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::map<std::string, double> metrics_;  // sorted => deterministic output
+};
 
 }  // namespace bench_report

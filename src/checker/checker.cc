@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "expr/eval.h"
+#include "obs/trace.h"
 
 namespace sedspec::checker {
 
@@ -50,6 +51,14 @@ std::string failure_policy_name(FailurePolicy p) {
   return "?";
 }
 
+// Tripwire: a new CheckerStats counter that is not summed below would
+// silently vanish from fleet aggregation. If this assert fires, extend
+// merge(), publish_checker_stats(), and the field-by-field merge test
+// (checker_set_test.cc), then bump the expected size.
+static_assert(sizeof(CheckerStats) == 16 * sizeof(uint64_t),
+              "CheckerStats changed: update merge()/publish_checker_stats()/"
+              "the merge unit test, then this assert");
+
 void CheckerStats::merge(const CheckerStats& other) {
   rounds += other.rounds;
   clean_rounds += other.clean_rounds;
@@ -66,6 +75,54 @@ void CheckerStats::merge(const CheckerStats& other) {
   degraded_rounds += other.degraded_rounds;
   quarantines += other.quarantines;
   self_heals += other.self_heals;
+  check_ns += other.check_ns;
+}
+
+std::string strategy_set_name(const CheckerConfig& config) {
+  const int enabled = (config.enable_parameter ? 1 : 0) +
+                      (config.enable_indirect ? 1 : 0) +
+                      (config.enable_conditional ? 1 : 0);
+  if (enabled == 3) {
+    return "all";
+  }
+  if (enabled == 0) {
+    return "none";
+  }
+  if (enabled == 1) {
+    if (config.enable_parameter) {
+      return "parameter";
+    }
+    if (config.enable_indirect) {
+      return "indirect";
+    }
+    return "conditional";
+  }
+  return "mixed";
+}
+
+void publish_checker_stats(obs::MetricsRegistry& registry,
+                           const std::string& device_label,
+                           const CheckerStats& stats) {
+  const std::string labels = obs::label({{"device", device_label}});
+  auto set = [&](std::string_view name, uint64_t value) {
+    registry.gauge(name, labels).set(static_cast<int64_t>(value));
+  };
+  set("checker_rounds", stats.rounds);
+  set("checker_clean_rounds", stats.clean_rounds);
+  set("checker_blocked", stats.blocked);
+  set("checker_warnings", stats.warnings);
+  set("checker_violations_parameter", stats.violations_by_strategy[0]);
+  set("checker_violations_indirect", stats.violations_by_strategy[1]);
+  set("checker_violations_conditional", stats.violations_by_strategy[2]);
+  set("checker_rollbacks", stats.rollbacks);
+  set("checker_total_steps", stats.total_steps);
+  set("checker_contained_faults", stats.contained_faults);
+  set("checker_fail_closed_faults", stats.fail_closed_faults);
+  set("checker_fail_open_faults", stats.fail_open_faults);
+  set("checker_degraded_rounds", stats.degraded_rounds);
+  set("checker_quarantines", stats.quarantines);
+  set("checker_self_heals", stats.self_heals);
+  set("checker_check_ns", stats.check_ns);
 }
 
 std::string severity_name(Severity s) {
@@ -99,6 +156,10 @@ EsChecker::EsChecker(const spec::EsCfg* cfg, Device* device,
   SEDSPEC_REQUIRE_MSG(cfg->device_name == device->program().device_name(),
                       "specification/device mismatch");
   shadow_.copy_from(device->state());
+  latency_hist_ = &obs::metrics().histogram(
+      "checker_check_latency_ns",
+      obs::label({{"device", cfg->device_name},
+                  {"strategies", strategy_set_name(config_)}}));
   build_aux();
   if (config_.rollback_on_violation) {
     checkpoint_ = std::make_unique<sedspec::StateArena>(
@@ -308,6 +369,10 @@ CheckResult EsChecker::check(const IoAccess& io) {
   Traversal t;
   t.io = &io;
 
+  // Per-step events are high-frequency; only a verbose tracer records them.
+  obs::EventTracer* tr = obs::tracer();
+  const bool step_events = tr != nullptr && tr->verbose();
+
   shadow_.clear_locals();
   ++epoch_;
 
@@ -373,6 +438,10 @@ CheckResult EsChecker::check(const IoAccess& io) {
                          std::to_string(t.current));
     }
     const EsBlock& block = *aux.block;
+    if (step_events) {
+      tr->record(obs::EventType::kTraversalStep, "traversal_step",
+                 cfg_->device_name, block.name, t.current);
+    }
 
     // Per-round visit bound (trained loop shape).
     if (visit_epoch_[t.current] != epoch_) {
@@ -520,6 +589,9 @@ bool EsChecker::before_access(Device& device, const IoAccess& io) {
       degraded_ = false;
       degraded_rounds_since_heal_ = 0;
       ++stats_.self_heals;
+      if (obs::EventTracer* tr = obs::tracer()) {
+        tr->record(obs::EventType::kSelfHeal, "self_heal", cfg_->device_name);
+      }
       // Fall through: this round is checked again.
     } else {
       ++degraded_rounds_since_heal_;
@@ -557,6 +629,10 @@ bool EsChecker::contain_fault(Device& device, const std::string& what,
     if (count_round) {
       ++stats_.blocked;
     }
+    if (obs::EventTracer* tr = obs::tracer()) {
+      tr->record(obs::EventType::kQuarantine, "quarantine", cfg_->device_name,
+                 failure_policy_name(config_.failure_policy));
+    }
     device.reset();
     resync();
     if (checkpoint_ != nullptr) {
@@ -582,11 +658,28 @@ bool EsChecker::contain_fault(Device& device, const std::string& what,
 
 bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
   const std::optional<uint64_t> saved_cmd = active_cmd_;
+  // Latency probe: gated on the global timing switch so the untimed hot
+  // path pays one relaxed load, no clock reads.
+  const bool timed = obs::timing_enabled();
+  const uint64_t t0 = timed ? obs::now_ns() : 0;
   last_ = check(io);
+  if (timed) {
+    const uint64_t dt = obs::now_ns() - t0;
+    stats_.check_ns += dt;
+    latency_hist_->record(dt);
+  }
   ++stats_.rounds;
   stats_.total_steps += last_.steps;
   for (const Violation& v : last_.violations) {
     ++stats_.violations_by_strategy[static_cast<int>(v.strategy)];
+  }
+  if (!last_.violations.empty()) {
+    if (obs::EventTracer* tr = obs::tracer()) {
+      for (const Violation& v : last_.violations) {
+        tr->record(obs::EventType::kViolation, "violation", cfg_->device_name,
+                   strategy_name(v.strategy), v.site);
+      }
+    }
   }
   if (last_.clean()) {
     ++stats_.clean_rounds;
@@ -643,6 +736,10 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
   // afterwards so the warning does not cascade into follow-on divergence.
   pending_resync_ = config_.resync_after_warning;
   return true;
+}
+
+void EsChecker::publish_metrics(obs::MetricsRegistry& registry) const {
+  publish_checker_stats(registry, cfg_->device_name, stats_);
 }
 
 void EsChecker::after_access(Device& device, const IoAccess& /*io*/) {

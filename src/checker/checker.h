@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "program/arena.h"
 #include "spec/es_cfg.h"
 #include "vdev/bus.h"
@@ -161,6 +162,10 @@ struct CheckerConfig {
 ///   rounds == clean_rounds + warnings + blocked + degraded_rounds
 /// Contained faults resolve into `blocked` (fail-closed) or
 /// `degraded_rounds` (fail-open), so the invariant survives faults.
+///
+/// When adding a field: update merge(), publish_checker_stats(), the
+/// field-by-field merge test, and the sizeof static_asserts guarding them
+/// (checker.cc and checker_set_test.cc).
 struct CheckerStats {
   uint64_t rounds = 0;
   uint64_t clean_rounds = 0;
@@ -178,9 +183,27 @@ struct CheckerStats {
   uint64_t quarantines = 0;         // device quarantine/reset cycles
   uint64_t self_heals = 0;          // successful re-attach after degradation
 
+  // Observability: nanoseconds spent inside guarded checking (accumulated
+  // only while obs::timing_enabled(); otherwise stays 0).
+  uint64_t check_ns = 0;
+
   /// Sums another checker's counters into this one (fleet aggregation).
   void merge(const CheckerStats& other);
 };
+
+/// Canonical name for the enabled-strategy set of a config: "all", "none",
+/// a single strategy ("parameter" / "indirect" / "conditional"), or
+/// "mixed". Used as the `strategies` metric label on check-latency
+/// histograms, so single-strategy deployments yield per-strategy
+/// percentiles.
+[[nodiscard]] std::string strategy_set_name(const CheckerConfig& config);
+
+/// Publishes every CheckerStats field as a `checker_*` gauge labeled
+/// `device="<label>"` into `registry` (snapshot semantics: gauges are
+/// overwritten each call).
+void publish_checker_stats(obs::MetricsRegistry& registry,
+                           const std::string& device_label,
+                           const CheckerStats& stats);
 
 class EsChecker final : public sedspec::IoProxy {
  public:
@@ -206,6 +229,10 @@ class EsChecker final : public sedspec::IoProxy {
 
   [[nodiscard]] const CheckerStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Publishes this checker's stats into `registry` (gauges labeled with
+  /// the device name; see publish_checker_stats).
+  void publish_metrics(obs::MetricsRegistry& registry) const;
 
   [[nodiscard]] const CheckResult& last_result() const { return last_; }
   [[nodiscard]] sedspec::StateArena& shadow() { return shadow_; }
@@ -261,6 +288,8 @@ class EsChecker final : public sedspec::IoProxy {
   bool degraded_ = false;
   uint64_t degraded_rounds_since_heal_ = 0;
   FaultHook fault_hook_;
+  // Resolved once at construction; recording is relaxed-atomic only.
+  obs::Histogram* latency_hist_ = nullptr;
 
   std::vector<BlockAux> aux_;                           // by SiteId
   std::vector<std::pair<sedspec::IoKey, SiteId>> entries_;  // flat dispatch

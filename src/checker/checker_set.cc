@@ -24,6 +24,13 @@ CheckerStats CheckerSet::aggregate_stats() const {
   return total;
 }
 
+void CheckerSet::publish_metrics(obs::MetricsRegistry& registry) const {
+  for (const auto& [device, checker] : checkers_) {
+    checker->publish_metrics(registry);
+  }
+  publish_checker_stats(registry, "fleet", aggregate_stats());
+}
+
 bool CheckerSet::before_access(Device& device, const IoAccess& io) {
   EsChecker* checker = checker_for(device);
   return checker == nullptr || checker->before_access(device, io);

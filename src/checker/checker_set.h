@@ -26,6 +26,10 @@ class CheckerSet final : public sedspec::IoProxy {
   /// events, degraded rounds, quarantines, self-heals, ... included).
   [[nodiscard]] CheckerStats aggregate_stats() const;
 
+  /// Publishes every attached checker's stats into `registry` (gauges
+  /// labeled per device) plus the fleet aggregate under device="fleet".
+  void publish_metrics(obs::MetricsRegistry& registry) const;
+
   // IoProxy ---------------------------------------------------------------
   bool before_access(Device& device, const IoAccess& io) override;
   void after_access(Device& device, const IoAccess& io) override;

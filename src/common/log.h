@@ -1,18 +1,37 @@
 // Minimal leveled logger.
 //
 // The library is silent by default (level = kWarn); tests and benchmarks can
-// raise or lower the level. Log output goes to stderr so benchmark stdout
-// stays machine-readable.
+// raise or lower the level, and the SEDSPEC_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, or 0-4) sets the startup level without a
+// recompile. Log output goes to stderr so benchmark stdout stays
+// machine-readable. Every line is prefixed with a monotonic
+// seconds.microseconds timestamp on the same timebase as the obs trace
+// events (monotonic_ns), so long campaign runs correlate with exported
+// traces.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace sedspec {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Returns the process-wide minimum level that is emitted.
+/// Monotonic nanoseconds since the process-wide observability epoch (first
+/// use). Shared timebase for log line prefixes, obs metric timings, and
+/// trace event timestamps.
+[[nodiscard]] uint64_t monotonic_ns();
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// "off"/"none"/"silent") or a digit 0-4, case-insensitively. Returns
+/// `fallback` on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text,
+                                       LogLevel fallback);
+
+/// Returns the process-wide minimum level that is emitted. Initialized from
+/// SEDSPEC_LOG_LEVEL on first use (default kWarn).
 LogLevel log_level();
 
 /// Sets the process-wide minimum level that is emitted.

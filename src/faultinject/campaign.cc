@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "guest/workload.h"
+#include "obs/trace.h"
 #include "sedspec/pipeline.h"
 #include "spec/serial.h"
 #include "vdev/dma.h"
@@ -77,22 +78,40 @@ bool run_ops(guest::DeviceWorkload& wl, int ops, Rng& rng) {
   return false;
 }
 
+/// Emits one per-fault outcome event to the installed tracer (no-op when
+/// tracing is off): name "fault_outcome", category = device, detail =
+/// "<layer>:<outcome>".
+void emit_fault_outcome(Layer layer, const std::string& device,
+                        const char* outcome) {
+  if (obs::EventTracer* tr = obs::tracer()) {
+    tr->record(obs::EventType::kFaultOutcome, "fault_outcome", device,
+               layer_name(layer) + ":" + outcome);
+  }
+}
+
 /// Classifies one fault's outcome from the checker's counter deltas.
 void classify(const checker::CheckerStats& before,
-              const checker::CheckerStats& after, LayerOutcomes& o) {
+              const checker::CheckerStats& after, LayerOutcomes& o,
+              Layer layer, const std::string& device) {
+  const char* outcome;
   if (after.contained_faults > before.contained_faults) {
     ++o.contained;
     if (after.fail_closed_faults > before.fail_closed_faults) {
       ++o.fail_closed;
+      outcome = "contained_fail_closed";
     } else {
       ++o.fail_open;
+      outcome = "contained_fail_open";
     }
   } else if (after.blocked > before.blocked ||
              after.warnings > before.warnings) {
     ++o.flagged;
+    outcome = "flagged";
   } else {
     ++o.absorbed;
+    outcome = "absorbed";
   }
+  emit_fault_outcome(layer, device, outcome);
 }
 
 /// Detaches the checker from the workload and restores a clean device.
@@ -120,6 +139,7 @@ void run_spec_layer(guest::DeviceWorkload& wl,
       ++o.rejected_at_load;
       ++result.spec_rejections_by_status[static_cast<size_t>(
           out.error.status)];
+      emit_fault_outcome(Layer::kSpec, wl.name(), "rejected_at_load");
       continue;
     }
     // The corruption survived the envelope AND the structural decoder (a
@@ -128,8 +148,9 @@ void run_spec_layer(guest::DeviceWorkload& wl,
     const checker::CheckerStats before = out.checker->stats();
     if (run_ops(wl, config.ops_per_fault, rng)) {
       ++o.escaped;
+      emit_fault_outcome(Layer::kSpec, wl.name(), "escaped");
     } else {
-      classify(before, out.checker->stats(), o);
+      classify(before, out.checker->stats(), o, Layer::kSpec, wl.name());
     }
     undeploy(wl);
   }
@@ -157,6 +178,7 @@ void run_trace_layer(guest::DeviceWorkload& wl, const CampaignConfig& config,
       // real deployment re-collects. The fault never reached runtime.
       wl.device().reset();
       ++o.rejected_at_load;
+      emit_fault_outcome(Layer::kTrace, wl.name(), "rejected_at_load");
       continue;
     }
     wl.device().reset();
@@ -165,13 +187,15 @@ void run_trace_layer(guest::DeviceWorkload& wl, const CampaignConfig& config,
       const checker::CheckerStats before = checker->stats();
       if (run_ops(wl, config.ops_per_fault, rng)) {
         ++o.escaped;
+        emit_fault_outcome(Layer::kTrace, wl.name(), "escaped");
       } else {
-        classify(before, checker->stats(), o);
+        classify(before, checker->stats(), o, Layer::kTrace, wl.name());
       }
       undeploy(wl);
     } catch (const std::exception&) {
       undeploy(wl);
       ++o.rejected_at_load;
+      emit_fault_outcome(Layer::kTrace, wl.name(), "rejected_at_load");
     }
   }
 }
@@ -207,8 +231,9 @@ void run_dma_layer(guest::DeviceWorkload& wl, const spec::EsCfg& cfg,
     ++o.injected;
     if (escaped) {
       ++o.escaped;
+      emit_fault_outcome(Layer::kDma, wl.name(), "escaped");
     } else {
-      classify(before, checker->stats(), o);
+      classify(before, checker->stats(), o, Layer::kDma, wl.name());
     }
     checker->resync();  // isolate faults from each other
   }
@@ -236,8 +261,9 @@ void run_checker_layer(guest::DeviceWorkload& wl, const spec::EsCfg& cfg,
       const checker::CheckerStats before = checker.stats();
       if (run_ops(wl, config.ops_per_fault, rng)) {
         ++o.escaped;
+        emit_fault_outcome(Layer::kChecker, wl.name(), "escaped");
       } else {
-        classify(before, checker.stats(), o);
+        classify(before, checker.stats(), o, Layer::kChecker, wl.name());
       }
       disarm_checker_faults(checker);
       checker.resync();  // isolate faults from each other

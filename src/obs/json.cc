@@ -1,0 +1,289 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sedspec::obs {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    SEDSPEC_CHECK_DECODE(pos_ == text_.size(), "trailing bytes after JSON");
+    return v;
+  }
+
+ private:
+  // Exported documents nest a handful of levels; 64 is a generous bound
+  // that keeps a corrupt (or adversarial) input from exhausting the stack.
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    SEDSPEC_CHECK_DECODE(pos_ < text_.size(), "truncated JSON");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    SEDSPEC_CHECK_DECODE(take() == c,
+                         std::string("expected '") + c + "' in JSON");
+  }
+
+  void expect_word(std::string_view word) {
+    SEDSPEC_CHECK_DECODE(text_.substr(pos_, word.size()) == word,
+                         "bad JSON literal");
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value(int depth) {
+    SEDSPEC_CHECK_DECODE(depth < kMaxDepth, "JSON nested too deep");
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.kind = JsonValue::Kind::kObject;
+        take();
+        skip_ws();
+        if (peek() == '}') {
+          take();
+          return v;
+        }
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value(depth + 1));
+          skip_ws();
+          const char c = take();
+          if (c == '}') {
+            return v;
+          }
+          SEDSPEC_CHECK_DECODE(c == ',', "expected ',' or '}' in object");
+        }
+      }
+      case '[': {
+        v.kind = JsonValue::Kind::kArray;
+        take();
+        skip_ws();
+        if (peek() == ']') {
+          take();
+          return v;
+        }
+        while (true) {
+          v.array.push_back(parse_value(depth + 1));
+          skip_ws();
+          const char c = take();
+          if (c == ']') {
+            return v;
+          }
+          SEDSPEC_CHECK_DECODE(c == ',', "expected ',' or ']' in array");
+        }
+      }
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.str = parse_string();
+        return v;
+      case 't':
+        expect_word("true");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        expect_word("false");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        expect_word("null");
+        return v;
+      default:
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = parse_number();
+        return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        SEDSPEC_CHECK_DECODE(static_cast<unsigned char>(c) >= 0x20,
+                             "unescaped control character in JSON string");
+        out.push_back(c);
+        continue;
+      }
+      c = take();
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(c);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              SEDSPEC_CHECK_DECODE(false, "bad \\u escape in JSON string");
+            }
+          }
+          // The exporters only emit ASCII; decode BMP code points as UTF-8
+          // and reject surrogates rather than implementing pair decoding.
+          SEDSPEC_CHECK_DECODE(code < 0xd800 || code > 0xdfff,
+                               "surrogate \\u escape unsupported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          SEDSPEC_CHECK_DECODE(false, "bad escape in JSON string");
+      }
+    }
+  }
+
+  double parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') {
+      take();
+    }
+    SEDSPEC_CHECK_DECODE(pos_ < text_.size() && std::isdigit(peek()),
+                         "bad JSON number");
+    while (pos_ < text_.size() && std::isdigit(text_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      SEDSPEC_CHECK_DECODE(pos_ < text_.size() && std::isdigit(text_[pos_]),
+                           "bad JSON fraction");
+      while (pos_ < text_.size() && std::isdigit(text_[pos_])) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      SEDSPEC_CHECK_DECODE(pos_ < text_.size() && std::isdigit(text_[pos_]),
+                           "bad JSON exponent");
+      while (pos_ < text_.size() && std::isdigit(text_[pos_])) {
+        ++pos_;
+      }
+    }
+    return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sedspec::obs

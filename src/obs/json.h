@@ -1,0 +1,54 @@
+// Minimal zero-dependency JSON support for the observability layer.
+//
+// The obs exporters *emit* JSON (metrics snapshots, Chrome trace events);
+// this parser exists so the emitting side can be verified end-to-end — the
+// obs tests and `examples/obs_dashboard --check` parse the exported bytes
+// back and assert on their structure instead of trusting the writer.
+//
+// Exported documents are small (snapshots, not telemetry streams), so the
+// parser favors simplicity over speed: one recursive-descent pass into an
+// owning tree. Malformed input throws sedspec::DecodeError, the same
+// recoverable error type every other untrusted-bytes decoder in the repo
+// uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/decode.h"
+
+namespace sedspec::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved (duplicate keys kept as-is).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws sedspec::DecodeError on malformed input.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace sedspec::obs

@@ -1,0 +1,153 @@
+// Event tracing: a fixed-capacity ring buffer of typed runtime events with
+// a Chrome trace-event JSON exporter (loadable in Perfetto or
+// chrome://tracing).
+//
+// The tracer is OFF unless installed: instrumentation sites do
+// `if (EventTracer* t = obs::tracer())` — a single relaxed atomic pointer
+// load — so an uninstrumented run pays one predicted branch per site.
+// Recording is lock-free-ish: a relaxed fetch_add claims a slot in a
+// preallocated ring, the event is written in place, and wraparound
+// overwrites the oldest entries (dropped() counts them). Strings (event
+// names, device names, strategy labels) are interned into a bounded table
+// once and referenced by id, so an event record is a fixed-size POD write
+// with no allocation.
+//
+// Event vocabulary (EventType): guest I/O accesses, ES-CFG traversal steps,
+// checker violations/quarantines/self-heals, DMA transfers, pipeline phase
+// begin/end pairs, and fault-campaign outcomes. io_access and
+// traversal_step are high-frequency and only recorded at Detail::kVerbose.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sedspec::obs {
+
+enum class EventType : uint8_t {
+  kIoAccess = 0,      // one guest PIO/MMIO access (verbose only)
+  kTraversalStep,     // one ES-CFG block visit (verbose only)
+  kViolation,         // checker violation; detail = strategy label
+  kQuarantine,        // fail-closed containment reset a device
+  kSelfHeal,          // fail-open degradation healed (resync + re-attach)
+  kDmaXfer,           // one DMA engine transfer
+  kPhaseBegin,        // pipeline phase opened (Chrome 'B')
+  kPhaseEnd,          // pipeline phase closed (Chrome 'E')
+  kFaultOutcome,      // fault-injection campaign classified one fault
+};
+
+[[nodiscard]] const char* event_type_name(EventType t);
+
+struct TraceEvent {
+  uint64_t ts_ns = 0;   // obs::now_ns() at record time
+  uint64_t dur_ns = 0;  // 0 for instants and begin/end markers
+  uint64_t a = 0;       // type-specific numeric arg (addr, site, layer, ...)
+  uint64_t b = 0;       // type-specific numeric arg (value, bytes, ...)
+  uint32_t name = 0;    // interned: event/phase name
+  uint32_t cat = 0;     // interned: category (device name, "pipeline", ...)
+  uint32_t detail = 0;  // interned: strategy label, direction, outcome, ...
+  EventType type = EventType::kIoAccess;
+};
+
+class EventTracer {
+ public:
+  enum class Detail : uint8_t {
+    kNormal = 0,   // everything except per-access / per-step events
+    kVerbose = 1,  // adds io_access and traversal_step
+  };
+
+  explicit EventTracer(size_t capacity = 1 << 16);
+
+  void set_detail(Detail d) {
+    detail_.store(static_cast<uint8_t>(d), std::memory_order_relaxed);
+  }
+  [[nodiscard]] Detail detail() const {
+    return static_cast<Detail>(detail_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool verbose() const { return detail() == Detail::kVerbose; }
+
+  /// Interns `s` and returns its stable id. The table is bounded
+  /// (kMaxStrings); once full, unseen strings collapse to one overflow id
+  /// so a pathological label stream cannot grow memory without bound.
+  uint32_t intern(std::string_view s);
+  [[nodiscard]] const std::string& string_at(uint32_t id) const;
+
+  void record(EventType type, std::string_view name, std::string_view cat,
+              std::string_view detail = {}, uint64_t a = 0, uint64_t b = 0,
+              uint64_t dur_ns = 0);
+
+  /// Pipeline-phase markers (Chrome 'B'/'E'; Perfetto renders the span).
+  void begin_phase(std::string_view name, std::string_view cat);
+  void end_phase(std::string_view name, std::string_view cat);
+
+  [[nodiscard]] size_t capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] size_t size() const;
+  /// Total events ever recorded.
+  [[nodiscard]] uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to wraparound (oldest-first overwrite).
+  [[nodiscard]] uint64_t dropped() const;
+
+  /// Copies the retained events oldest-first. Intended for quiescent reads
+  /// (export time); concurrent recording may tear the boundary entries.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]} with ts/dur in
+  /// microseconds, phase 'B'/'E' for pipeline phases, 'X' for events
+  /// carrying a duration, and instant 'i' otherwise.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  void clear();
+
+ private:
+  static constexpr size_t kMaxStrings = 4096;
+
+  mutable std::mutex intern_mu_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> ids_;
+
+  std::vector<TraceEvent> ring_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint8_t> detail_{0};
+};
+
+namespace detail {
+/// Storage for the process-global tracer pointer. Exposed so tracer()
+/// inlines to one relaxed load (it gates every instrumented hot-path
+/// site). Mutate only via set_tracer().
+extern std::atomic<EventTracer*> g_tracer;
+}  // namespace detail
+
+/// Process-global tracer the instrumentation sites emit into; null (the
+/// default) disables event recording entirely.
+[[nodiscard]] inline EventTracer* tracer() {
+  return detail::g_tracer.load(std::memory_order_relaxed);
+}
+void set_tracer(EventTracer* tracer);
+
+/// RAII pipeline-phase probe: emits begin/end events to the installed
+/// tracer and records the phase duration into the default registry's
+/// `pipeline_phase_ns{phase="<name>"}` histogram (when timing is on).
+class PhaseScope {
+ public:
+  PhaseScope(std::string name, std::string cat);
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope();
+
+ private:
+  std::string name_;
+  std::string cat_;
+  Histogram* hist_ = nullptr;
+  uint64_t start_ = 0;
+};
+
+}  // namespace sedspec::obs

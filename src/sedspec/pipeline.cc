@@ -1,6 +1,7 @@
 #include "sedspec/pipeline.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace sedspec::pipeline {
 
@@ -16,40 +17,52 @@ CollectionResult collect(Device& device,
 
   // Pass 1: IPT-style trace, filtered to the device's code range with
   // kernel-space tracing disabled (paper §IV-A).
-  trace::TraceFilter filter;
-  filter.range_lo = device.program().code_base();
-  filter.range_hi = device.program().code_end();
-  filter.trace_kernel = false;
-  trace::PacketEncoder encoder(filter);
+  std::vector<uint8_t> packets;
+  {
+    obs::PhaseScope phase("trace_pass", device.name());
+    trace::TraceFilter filter;
+    filter.range_lo = device.program().code_base();
+    filter.range_hi = device.program().code_end();
+    filter.trace_kernel = false;
+    trace::PacketEncoder encoder(filter);
 
-  device.reset();
-  device.ictx().set_trace_sink(&encoder);
-  training();
-  device.ictx().set_trace_sink(nullptr);
-
-  std::vector<uint8_t> packets = encoder.finish();
+    device.reset();
+    device.ictx().set_trace_sink(&encoder);
+    training();
+    device.ictx().set_trace_sink(nullptr);
+    packets = encoder.finish();
+  }
   if (options.packet_tap) {
     options.packet_tap(packets);
   }
   out.trace_bytes = packets.size();
-  cfg::ItcCfgBuilder itc_builder;
-  itc_builder.feed_all(trace::decode(packets));
-  out.itc_cfg = itc_builder.take();
+  {
+    obs::PhaseScope phase("itc_cfg", device.name());
+    cfg::ItcCfgBuilder itc_builder;
+    itc_builder.feed_all(trace::decode(packets));
+    out.itc_cfg = itc_builder.take();
 
-  // CFG analysis: device-state parameter selection + observation plan.
-  out.selection = cfg::analyze(out.itc_cfg, device.program());
+    // CFG analysis: device-state parameter selection + observation plan.
+    out.selection = cfg::analyze(out.itc_cfg, device.program());
+  }
 
-  // Data-dependency recovery plan over the source.
-  out.recovery = dataflow::analyze_dependencies(device.program());
+  {
+    // Data-dependency recovery plan over the source.
+    obs::PhaseScope phase("dataflow", device.name());
+    out.recovery = dataflow::analyze_dependencies(device.program());
+  }
 
   // Pass 2: observation points armed, produce the state-change log.
-  statelog::LogRecorder recorder;
-  recorder.set_site_filter(&out.selection.observation_sites);
-  device.reset();
-  device.ictx().set_observer(&recorder);
-  training();
-  device.ictx().set_observer(nullptr);
-  out.log = recorder.take();
+  {
+    obs::PhaseScope phase("observe_pass", device.name());
+    statelog::LogRecorder recorder;
+    recorder.set_site_filter(&out.selection.observation_sites);
+    device.reset();
+    device.ictx().set_observer(&recorder);
+    training();
+    device.ictx().set_observer(nullptr);
+    out.log = recorder.take();
+  }
 
   log_info("pipeline") << device.name() << ": collected "
                        << out.log.round_count() << " rounds, "
@@ -59,6 +72,7 @@ CollectionResult collect(Device& device,
 }
 
 spec::EsCfg construct(Device& device, const CollectionResult& collection) {
+  obs::PhaseScope phase("es_cfg_build", device.name());
   return spec::EsCfgBuilder::build(device.program(), collection.selection,
                                    collection.recovery, collection.log);
 }

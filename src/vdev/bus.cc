@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace sedspec {
 
@@ -17,7 +18,21 @@ void spin_wait_ns(uint64_t ns) {
   }
 }
 
+IoBus::IoBus()
+    : obs_accesses_(&obs::metrics().counter("bus_accesses_total")),
+      obs_blocked_(&obs::metrics().counter("bus_blocked_total")),
+      obs_proxy_faults_(&obs::metrics().counter("bus_proxy_faults_total")) {}
+
 void IoBus::exit_cost() const { spin_wait_ns(access_latency_ns_); }
+
+void IoBus::trace_access_slow(obs::EventTracer& tr, const Device& dev,
+                              const IoAccess& io) const {
+  if (!tr.verbose()) {
+    return;
+  }
+  tr.record(obs::EventType::kIoAccess, "io_access", dev.name(),
+            io.is_write ? "write" : "read", io.addr, io.value);
+}
 
 void IoProxy::after_access(Device& /*device*/, const IoAccess& /*io*/) {}
 
@@ -29,6 +44,7 @@ bool IoBus::proxy_allows(Device& dev, const IoAccess& io) {
     // resort fail-closed — block the access rather than crash the VMM or
     // let an unchecked access through.
     ++proxy_faults_;
+    obs_proxy_faults_->inc();
     return false;
   }
 }
@@ -38,6 +54,7 @@ void IoBus::proxy_done(Device& dev, const IoAccess& io) {
     proxy_->after_access(dev, io);
   } catch (...) {
     ++proxy_faults_;
+    obs_proxy_faults_->inc();
   }
 }
 
@@ -61,14 +78,14 @@ Device* IoBus::device_at(IoSpace space, uint64_t addr) const {
 }
 
 uint64_t IoBus::read(IoSpace space, uint64_t addr, uint8_t size) {
-  ++accesses_;
+  note_access();
   exit_cost();
   Device* dev = device_at(space, addr);
   if (dev == nullptr) {
     return ~uint64_t{0} >> (64 - 8 * size);
   }
   if (dev->halted()) {
-    ++blocked_;
+    note_blocked();
     return 0;
   }
   IoAccess io;
@@ -77,27 +94,28 @@ uint64_t IoBus::read(IoSpace space, uint64_t addr, uint8_t size) {
   io.size = size;
   io.is_write = false;
   if (proxy_ != nullptr && !proxy_allows(*dev, io)) {
-    ++blocked_;
+    note_blocked();
     return 0;
   }
   const uint64_t value = dev->io_read(io);
+  IoAccess done = io;
+  done.value = value;
+  trace_access(*dev, done);
   if (proxy_ != nullptr) {
-    IoAccess done = io;
-    done.value = value;
     proxy_done(*dev, done);
   }
   return value;
 }
 
 void IoBus::write(IoSpace space, uint64_t addr, uint8_t size, uint64_t value) {
-  ++accesses_;
+  note_access();
   exit_cost();
   Device* dev = device_at(space, addr);
   if (dev == nullptr) {
     return;
   }
   if (dev->halted()) {
-    ++blocked_;
+    note_blocked();
     return;
   }
   IoAccess io;
@@ -107,10 +125,11 @@ void IoBus::write(IoSpace space, uint64_t addr, uint8_t size, uint64_t value) {
   io.value = value;
   io.is_write = true;
   if (proxy_ != nullptr && !proxy_allows(*dev, io)) {
-    ++blocked_;
+    note_blocked();
     return;
   }
   dev->io_write(io);
+  trace_access(*dev, io);
   if (proxy_ != nullptr) {
     proxy_done(*dev, io);
   }

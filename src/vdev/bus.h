@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "expr/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vdev/device.h"
 
 namespace sedspec {
@@ -34,6 +36,8 @@ class IoProxy {
 
 class IoBus {
  public:
+  IoBus();
+
   /// Maps [base, base+len) in `space` to `device` (non-owning).
   void map(IoSpace space, uint64_t base, uint64_t len, Device* device);
 
@@ -78,6 +82,23 @@ class IoBus {
   void exit_cost() const;
   bool proxy_allows(Device& dev, const IoAccess& io);
   void proxy_done(Device& dev, const IoAccess& io);
+  void note_access() {
+    ++accesses_;
+    obs_accesses_->inc();
+  }
+  void note_blocked() {
+    ++blocked_;
+    obs_blocked_->inc();
+  }
+  /// Emits an io_access trace event when a verbose tracer is installed.
+  /// Inline gate: the no-tracer (default) path is one relaxed load.
+  void trace_access(const Device& dev, const IoAccess& io) const {
+    if (obs::EventTracer* tr = obs::tracer()) {
+      trace_access_slow(*tr, dev, io);
+    }
+  }
+  void trace_access_slow(obs::EventTracer& tr, const Device& dev,
+                         const IoAccess& io) const;
 
   std::vector<Mapping> mappings_;
   IoProxy* proxy_ = nullptr;
@@ -85,6 +106,11 @@ class IoBus {
   uint64_t blocked_ = 0;
   uint64_t proxy_faults_ = 0;
   uint64_t access_latency_ns_ = 0;
+  // Process-wide totals in the default obs registry (resolved once at
+  // construction; relaxed-atomic increments on the access path).
+  obs::Counter* obs_accesses_;
+  obs::Counter* obs_blocked_;
+  obs::Counter* obs_proxy_faults_;
 };
 
 /// Busy-waits for `ns` nanoseconds (shared by the bus exit model and the

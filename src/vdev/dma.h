@@ -12,13 +12,18 @@
 #include <span>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vdev/memory.h"
 
 namespace sedspec {
 
 class DmaEngine {
  public:
-  explicit DmaEngine(GuestMemory* mem) : mem_(mem) {}
+  explicit DmaEngine(GuestMemory* mem)
+      : mem_(mem),
+        obs_transfers_(&obs::metrics().counter("dma_transfers_total")),
+        obs_bytes_(&obs::metrics().counter("dma_bytes_total")) {}
 
   /// Fault-injection seam (faultinject layer 3): consulted before every
   /// transfer. Returning a DmaFault makes the transfer fail outright
@@ -39,6 +44,7 @@ class DmaEngine {
   bool from_guest(uint64_t addr, std::span<uint8_t> out) {
     bytes_read_ += out.size();
     ++transfers_;
+    note_transfer(/*is_read=*/true, addr, out.size());
     if (fault_hook_) {
       if (auto f = fault_hook_(/*is_read=*/true, addr, out.size())) {
         ++faults_injected_;
@@ -57,6 +63,7 @@ class DmaEngine {
   bool to_guest(uint64_t addr, std::span<const uint8_t> data) {
     bytes_written_ += data.size();
     ++transfers_;
+    note_transfer(/*is_read=*/false, addr, data.size());
     if (fault_hook_) {
       if (auto f = fault_hook_(/*is_read=*/false, addr, data.size())) {
         ++faults_injected_;
@@ -81,12 +88,24 @@ class DmaEngine {
   }
 
  private:
+  void note_transfer(bool is_read, uint64_t addr, size_t len) {
+    obs_transfers_->inc();
+    obs_bytes_->inc(len);
+    if (obs::EventTracer* tr = obs::tracer()) {
+      tr->record(obs::EventType::kDmaXfer, "dma_xfer", "dma",
+                 is_read ? "from_guest" : "to_guest", addr, len);
+    }
+  }
+
   GuestMemory* mem_;
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t transfers_ = 0;
   uint64_t faults_injected_ = 0;
   FaultHook fault_hook_;
+  // Process-wide totals in the default obs registry.
+  obs::Counter* obs_transfers_;
+  obs::Counter* obs_bytes_;
 };
 
 }  // namespace sedspec

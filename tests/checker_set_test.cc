@@ -5,6 +5,7 @@
 
 #include "checker/checker_set.h"
 #include "devices/esp_scsi.h"
+#include "obs/metrics.h"
 #include "devices/fdc.h"
 #include "guest/esp_driver.h"
 #include "guest/fdc_driver.h"
@@ -86,6 +87,91 @@ TEST(CheckerSet, CompromiseOfOneDeviceLeavesOthersRunning) {
   EXPECT_EQ(back, block);
   EXPECT_FALSE(vm.esp.halted());
   EXPECT_EQ(vm.set.checker_for(vm.esp)->stats().blocked, 0u);
+}
+
+// Tripwire: CheckerStats is aggregated field-by-field in merge() and
+// exported field-by-field by publish_checker_stats(). If this assert fires
+// you added (or removed) a field — update merge(), publish_checker_stats(),
+// and the MergeSumsEveryField test below in the same change.
+static_assert(sizeof(checker::CheckerStats) == 16 * sizeof(uint64_t),
+              "CheckerStats changed size: update merge()/"
+              "publish_checker_stats()/MergeSumsEveryField");
+
+TEST(CheckerStats, MergeSumsEveryField) {
+  checker::CheckerStats a;
+  a.rounds = 1;
+  a.clean_rounds = 2;
+  a.blocked = 3;
+  a.warnings = 4;
+  a.violations_by_strategy[0] = 5;
+  a.violations_by_strategy[1] = 6;
+  a.violations_by_strategy[2] = 7;
+  a.rollbacks = 8;
+  a.total_steps = 9;
+  a.contained_faults = 10;
+  a.fail_closed_faults = 11;
+  a.fail_open_faults = 12;
+  a.degraded_rounds = 13;
+  a.quarantines = 14;
+  a.self_heals = 15;
+  a.check_ns = 16;
+
+  checker::CheckerStats b;
+  b.rounds = 100;
+  b.clean_rounds = 200;
+  b.blocked = 300;
+  b.warnings = 400;
+  b.violations_by_strategy[0] = 500;
+  b.violations_by_strategy[1] = 600;
+  b.violations_by_strategy[2] = 700;
+  b.rollbacks = 800;
+  b.total_steps = 900;
+  b.contained_faults = 1000;
+  b.fail_closed_faults = 1100;
+  b.fail_open_faults = 1200;
+  b.degraded_rounds = 1300;
+  b.quarantines = 1400;
+  b.self_heals = 1500;
+  b.check_ns = 1600;
+
+  a.merge(b);
+  EXPECT_EQ(a.rounds, 101u);
+  EXPECT_EQ(a.clean_rounds, 202u);
+  EXPECT_EQ(a.blocked, 303u);
+  EXPECT_EQ(a.warnings, 404u);
+  EXPECT_EQ(a.violations_by_strategy[0], 505u);
+  EXPECT_EQ(a.violations_by_strategy[1], 606u);
+  EXPECT_EQ(a.violations_by_strategy[2], 707u);
+  EXPECT_EQ(a.rollbacks, 808u);
+  EXPECT_EQ(a.total_steps, 909u);
+  EXPECT_EQ(a.contained_faults, 1010u);
+  EXPECT_EQ(a.fail_closed_faults, 1111u);
+  EXPECT_EQ(a.fail_open_faults, 1212u);
+  EXPECT_EQ(a.degraded_rounds, 1313u);
+  EXPECT_EQ(a.quarantines, 1414u);
+  EXPECT_EQ(a.self_heals, 1515u);
+  EXPECT_EQ(a.check_ns, 1616u);
+}
+
+TEST(CheckerSet, PublishMetricsExportsPerCheckerAndFleetGauges) {
+  VmEnv vm;
+  guest::FdcDriver fdc_drv(&vm.bus);
+  std::vector<uint8_t> sector(512, 0x5a);
+  fdc_drv.write_sector(0, 0, 1, sector);
+
+  obs::MetricsRegistry reg;
+  vm.set.publish_metrics(reg);
+  const obs::Gauge* fdc_rounds =
+      reg.find_gauge("checker_rounds", obs::label({{"device", "fdc"}}));
+  const obs::Gauge* fleet_rounds =
+      reg.find_gauge("checker_rounds", obs::label({{"device", "fleet"}}));
+  ASSERT_NE(fdc_rounds, nullptr);
+  ASSERT_NE(fleet_rounds, nullptr);
+  EXPECT_GT(fdc_rounds->value(), 0);
+  // Fleet aggregation covers both attached checkers.
+  EXPECT_EQ(fleet_rounds->value(),
+            static_cast<int64_t>(vm.set.aggregate_stats().rounds));
+  EXPECT_GE(fleet_rounds->value(), fdc_rounds->value());
 }
 
 TEST(CheckerSet, UncheckedDevicePassesThrough) {

@@ -1,13 +1,36 @@
 // Unit tests for the common substrate: byte serialization, deterministic
-// RNG, and the virtual clock.
+// RNG, the virtual clock, and the leveled logger.
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/vclock.h"
 
 namespace sedspec {
 namespace {
+
+TEST(Log, ParseLevelAcceptsNamesDigitsAndCase) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("silent", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4", LogLevel::kDebug), LogLevel::kOff);
+  // Unrecognized input falls back instead of guessing.
+  EXPECT_EQ(parse_log_level("", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("loud", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("5", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST(Log, MonotonicTimebaseNeverGoesBackwards) {
+  const uint64_t a = monotonic_ns();
+  const uint64_t b = monotonic_ns();
+  EXPECT_LE(a, b);
+}
 
 TEST(Bytes, WriterReaderRoundTrip) {
   ByteWriter w;
