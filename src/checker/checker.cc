@@ -55,7 +55,7 @@ std::string failure_policy_name(FailurePolicy p) {
 // silently vanish from fleet aggregation. If this assert fires, extend
 // merge(), publish_checker_stats(), and the field-by-field merge test
 // (checker_set_test.cc), then bump the expected size.
-static_assert(sizeof(CheckerStats) == 16 * sizeof(uint64_t),
+static_assert(sizeof(CheckerStats) == 18 * sizeof(uint64_t),
               "CheckerStats changed: update merge()/publish_checker_stats()/"
               "the merge unit test, then this assert");
 
@@ -76,6 +76,26 @@ void CheckerStats::merge(const CheckerStats& other) {
   quarantines += other.quarantines;
   self_heals += other.self_heals;
   check_ns += other.check_ns;
+  reports_emitted += other.reports_emitted;
+  reports_dropped += other.reports_dropped;
+}
+
+std::string report_kind_name(Report::Kind k) {
+  switch (k) {
+    case Report::Kind::kViolation:
+      return "violation";
+    case Report::Kind::kBlocked:
+      return "blocked";
+    case Report::Kind::kQuarantine:
+      return "quarantine";
+    case Report::Kind::kSelfHeal:
+      return "self_heal";
+    case Report::Kind::kDegraded:
+      return "degraded";
+    case Report::Kind::kRedeploy:
+      return "redeploy";
+  }
+  return "?";
 }
 
 std::string strategy_set_name(const CheckerConfig& config) {
@@ -123,6 +143,8 @@ void publish_checker_stats(obs::MetricsRegistry& registry,
   set("checker_quarantines", stats.quarantines);
   set("checker_self_heals", stats.self_heals);
   set("checker_check_ns", stats.check_ns);
+  set("checker_reports_emitted", stats.reports_emitted);
+  set("checker_reports_dropped", stats.reports_dropped);
 }
 
 std::string severity_name(Severity s) {
@@ -158,13 +180,56 @@ EsChecker::EsChecker(const spec::EsCfg* cfg, Device* device,
   shadow_.copy_from(device->state());
   latency_hist_ = &obs::metrics().histogram(
       "checker_check_latency_ns",
-      obs::label({{"device", cfg->device_name},
+      obs::label({{"device", metrics_label()},
                   {"strategies", strategy_set_name(config_)}}));
   build_aux();
   if (config_.rollback_on_violation) {
     checkpoint_ = std::make_unique<sedspec::StateArena>(
         &device->program().layout());
     checkpoint_->copy_from(device->state());
+  }
+}
+
+namespace {
+/// Delegation helper: validates the snapshot before the raw-cfg constructor
+/// dereferences it.
+const spec::EsCfg* cfg_of(const spec::SnapshotRef& snapshot) {
+  SEDSPEC_REQUIRE_MSG(snapshot != nullptr,
+                      "checker attached to a null spec snapshot");
+  return &snapshot->cfg;
+}
+}  // namespace
+
+EsChecker::EsChecker(spec::SnapshotRef snapshot, Device* device,
+                     CheckerConfig config)
+    : EsChecker(cfg_of(snapshot), device, std::move(config)) {
+  snapshot_ = std::move(snapshot);
+}
+
+const std::string& EsChecker::metrics_label() const {
+  return config_.metrics_label.empty() ? cfg_->device_name
+                                       : config_.metrics_label;
+}
+
+void EsChecker::emit_report(Report::Kind kind, Strategy strategy, SiteId site,
+                            uint64_t value) {
+  if (report_sink_ == nullptr) {
+    return;
+  }
+  Report r;
+  r.kind = kind;
+  r.strategy = strategy;
+  r.shard = shard_id_;
+  r.site = site;
+  r.seq = report_seq_++;
+  r.value = value;
+  // offer() must never block (bounded queue, try-push): a full queue drops
+  // the report and the check path keeps its latency bound. Drops are
+  // surfaced here so fleet aggregation can alarm on report loss.
+  if (report_sink_->offer(r)) {
+    ++stats_.reports_emitted;
+  } else {
+    ++stats_.reports_dropped;
   }
 }
 
@@ -589,6 +654,8 @@ bool EsChecker::before_access(Device& device, const IoAccess& io) {
       degraded_ = false;
       degraded_rounds_since_heal_ = 0;
       ++stats_.self_heals;
+      emit_report(Report::Kind::kSelfHeal, Strategy::kParameter,
+                  sedspec::kInvalidSite);
       if (obs::EventTracer* tr = obs::tracer()) {
         tr->record(obs::EventType::kSelfHeal, "self_heal", cfg_->device_name);
       }
@@ -626,6 +693,8 @@ bool EsChecker::contain_fault(Device& device, const std::string& what,
     // costs one device reset.
     ++stats_.fail_closed_faults;
     ++stats_.quarantines;
+    emit_report(Report::Kind::kQuarantine, Strategy::kParameter,
+                sedspec::kInvalidSite);
     if (count_round) {
       ++stats_.blocked;
     }
@@ -646,6 +715,8 @@ bool EsChecker::contain_fault(Device& device, const std::string& what,
   // Fail-open: the access proceeds unprotected; alert and schedule a
   // self-heal.
   ++stats_.fail_open_faults;
+  emit_report(Report::Kind::kDegraded, Strategy::kParameter,
+              sedspec::kInvalidSite);
   if (count_round) {
     ++stats_.degraded_rounds;
   }
@@ -674,6 +745,9 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
     ++stats_.violations_by_strategy[static_cast<int>(v.strategy)];
   }
   if (!last_.violations.empty()) {
+    for (const Violation& v : last_.violations) {
+      emit_report(Report::Kind::kViolation, v.strategy, v.site);
+    }
     if (obs::EventTracer* tr = obs::tracer()) {
       for (const Violation& v : last_.violations) {
         tr->record(obs::EventType::kViolation, "violation", cfg_->device_name,
@@ -704,6 +778,9 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
   if (block_access) {
     ++stats_.blocked;
     last_.blocked = true;
+    emit_report(Report::Kind::kBlocked,
+                last_.violations.front().strategy,
+                last_.violations.front().site);
     if (config_.rollback_on_violation && checkpoint_ != nullptr) {
       // Rollback recovery: restore the control structure to the last clean
       // checkpoint; the device stays available.
@@ -739,7 +816,7 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
 }
 
 void EsChecker::publish_metrics(obs::MetricsRegistry& registry) const {
-  publish_checker_stats(registry, cfg_->device_name, stats_);
+  publish_checker_stats(registry, metrics_label(), stats_);
 }
 
 void EsChecker::after_access(Device& device, const IoAccess& /*io*/) {

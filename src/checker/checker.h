@@ -50,6 +50,7 @@
 #include "obs/metrics.h"
 #include "program/arena.h"
 #include "spec/es_cfg.h"
+#include "spec/spec_store.h"
 #include "vdev/bus.h"
 
 namespace sedspec::checker {
@@ -108,6 +109,41 @@ struct Violation {
   [[nodiscard]] Severity severity() const { return severity_of(strategy); }
 };
 
+/// One enforcement outcome as shipped off the hot check path (through a
+/// bounded MPSC queue, see report_queue.h). Deliberately a fixed-size POD —
+/// no strings, no allocation — so emitting a report never blocks or
+/// allocates inside before_access. The consumer resolves `shard` back to a
+/// device/VM.
+struct Report {
+  enum class Kind : uint8_t {
+    kViolation = 0,  // one Violation; `strategy`/`site` are meaningful
+    kBlocked,        // the round was vetoed (protection/parameter block)
+    kQuarantine,     // fail-closed containment reset the device
+    kSelfHeal,       // fail-open degradation healed (resync + re-attach)
+    kDegraded,       // fail-open containment entered degraded mode
+    kRedeploy,       // shard swapped to a new spec snapshot; value=version
+  };
+
+  Kind kind = Kind::kViolation;
+  Strategy strategy = Strategy::kParameter;  // kViolation only
+  uint32_t shard = 0;                        // producer shard id
+  SiteId site = sedspec::kInvalidSite;       // kViolation only
+  uint64_t seq = 0;    // per-shard emission sequence (gap = lost report)
+  uint64_t value = 0;  // kind-specific (spec version on kRedeploy)
+};
+
+[[nodiscard]] std::string report_kind_name(Report::Kind k);
+
+/// Where the checker ships reports. Implementations must be safe to call
+/// from many shard threads concurrently and must never block: offer()
+/// either accepts the report or returns false (bounded queue full), and the
+/// caller accounts the drop (CheckerStats.reports_dropped).
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual bool offer(const Report& r) = 0;
+};
+
 struct CheckResult {
   std::vector<Violation> violations;
   bool blocked = false;  // the access was vetoed
@@ -156,6 +192,12 @@ struct CheckerConfig {
   /// Fail-open only: degraded rounds served unprotected between self-heal
   /// (shadow resync + re-attach) attempts.
   uint64_t self_heal_interval = 16;
+
+  /// Metric-label override for the `device=` dimension (latency histogram
+  /// and publish_metrics gauges). Empty (default) uses the spec's device
+  /// name; the enforcement service sets per-shard labels ("fdc#3") so two
+  /// shards of the same device type export distinct series.
+  std::string metrics_label;
 };
 
 /// Bookkeeping invariant:
@@ -187,6 +229,12 @@ struct CheckerStats {
   // only while obs::timing_enabled(); otherwise stays 0).
   uint64_t check_ns = 0;
 
+  // Report-queue accounting (concurrency layer): offers made to the
+  // attached ReportSink and offers the bounded queue rejected. The check
+  // path never blocks on a full queue — it drops and counts here.
+  uint64_t reports_emitted = 0;
+  uint64_t reports_dropped = 0;
+
   /// Sums another checker's counters into this one (fleet aggregation).
   void merge(const CheckerStats& other);
 };
@@ -211,6 +259,14 @@ class EsChecker final : public sedspec::IoProxy {
   /// device's control structure (paper §V-A: "initialized with the values
   /// from the emulated device control structure upon booting").
   EsChecker(const spec::EsCfg* cfg, Device* device, CheckerConfig config = {});
+
+  /// Snapshot-pinning attach (concurrency layer): the checker keeps the
+  /// SpecStore snapshot alive for its own lifetime, so a concurrent
+  /// publish() of a newer version can never free a graph this checker is
+  /// traversing. Redeploy = construct a new checker from the new snapshot
+  /// and swap proxies between rounds.
+  EsChecker(spec::SnapshotRef snapshot, Device* device,
+            CheckerConfig config = {});
 
   // IoProxy -------------------------------------------------------------
   // Containment boundary: no exception raised by the checking path escapes
@@ -243,6 +299,26 @@ class EsChecker final : public sedspec::IoProxy {
   /// containment, waiting for the next self-heal attempt.
   [[nodiscard]] bool degraded() const { return degraded_; }
 
+  /// Version of the pinned snapshot (0 when constructed from a raw EsCfg).
+  [[nodiscard]] uint64_t spec_version() const {
+    return snapshot_ == nullptr ? 0 : snapshot_->version;
+  }
+  [[nodiscard]] const spec::SnapshotRef& snapshot() const {
+    return snapshot_;
+  }
+
+  /// Ships violation/containment reports to `sink` tagged with `shard_id`
+  /// (see Report). nullptr detaches. Offers that the sink rejects are
+  /// counted in stats().reports_dropped — the check path never blocks.
+  void set_report_sink(ReportSink* sink, uint32_t shard_id = 0) {
+    report_sink_ = sink;
+    shard_id_ = shard_id;
+  }
+
+  /// Label used for the `device=` metric dimension (config override or the
+  /// spec's device name).
+  [[nodiscard]] const std::string& metrics_label() const;
+
   /// Fault-injection seam (faultinject layer 4): consulted once per checked
   /// round with the shadow arena (so a hook can corrupt shadow state
   /// mid-round). The returned flags model internal checker bugs.
@@ -269,6 +345,8 @@ class EsChecker final : public sedspec::IoProxy {
   };
 
   [[nodiscard]] bool strategy_enabled(Strategy s) const;
+  void emit_report(Report::Kind kind, Strategy strategy, SiteId site,
+                   uint64_t value = 0);
   void resolve_syncs(const BlockAux& aux, const IoAccess& io);
   void exec_dsod(const BlockAux& aux, Traversal& t);
   [[nodiscard]] bool index_is_state_derived(const sedspec::ExprRef& e) const;
@@ -278,8 +356,12 @@ class EsChecker final : public sedspec::IoProxy {
                      bool count_round);
 
   const spec::EsCfg* cfg_;
+  spec::SnapshotRef snapshot_;  // pins cfg_ when store-deployed
   Device* device_;
   CheckerConfig config_;
+  ReportSink* report_sink_ = nullptr;
+  uint32_t shard_id_ = 0;
+  uint64_t report_seq_ = 0;
   sedspec::StateArena shadow_;
   std::optional<uint64_t> active_cmd_;
   CheckerStats stats_;

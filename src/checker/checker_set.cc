@@ -11,6 +11,16 @@ EsChecker* CheckerSet::attach(const spec::EsCfg& cfg, Device& device,
   return raw;
 }
 
+EsChecker* CheckerSet::attach(spec::SnapshotRef snapshot, Device& device,
+                              CheckerConfig config) {
+  auto checker =
+      std::make_unique<EsChecker>(std::move(snapshot), &device, config);
+  EsChecker* raw = checker.get();
+  checkers_[&device] = std::move(checker);
+  device.set_internal_activity_hook([raw] { raw->resync(); });
+  return raw;
+}
+
 EsChecker* CheckerSet::checker_for(const Device& device) const {
   auto it = checkers_.find(&device);
   return it == checkers_.end() ? nullptr : it->second.get();

@@ -19,6 +19,13 @@ class CheckerSet final : public sedspec::IoProxy {
   EsChecker* attach(const spec::EsCfg& cfg, Device& device,
                     CheckerConfig config = {});
 
+  /// Snapshot-pinning attach: the checker keeps the SpecStore snapshot
+  /// alive, so a concurrent publish() of a newer version never invalidates
+  /// this set's traversals. Re-attaching the same device replaces (and
+  /// destroys) its previous checker — the redeploy path.
+  EsChecker* attach(spec::SnapshotRef snapshot, Device& device,
+                    CheckerConfig config = {});
+
   [[nodiscard]] EsChecker* checker_for(const Device& device) const;
   [[nodiscard]] size_t size() const { return checkers_.size(); }
 

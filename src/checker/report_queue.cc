@@ -1,0 +1,88 @@
+#include "checker/report_queue.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.h"
+
+namespace sedspec::checker {
+
+ReportQueue::ReportQueue(size_t capacity) {
+  capacity = std::bit_ceil(std::max<size_t>(capacity, 2));
+  SEDSPEC_REQUIRE_MSG(capacity <= (size_t{1} << 31),
+                      "report queue capacity is implausibly large");
+  cells_ = std::make_unique<Cell[]>(capacity);
+  mask_ = capacity - 1;
+  for (size_t i = 0; i < capacity; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool ReportQueue::try_push(const Report& r) {
+  size_t pos = enqueue_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      // Slot is free for generation `pos`: claim it.
+      if (enqueue_.compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+        cell.item = r;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        pushed_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Lost the claim race; `pos` was refreshed by the CAS, retry.
+    } else if (dif < 0) {
+      // Slot still holds the previous generation's item: queue is full.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      pos = enqueue_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ReportQueue::try_pop(Report& out) {
+  size_t pos = dequeue_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (dequeue_.compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+        out = cell.item;
+        // Recycle the slot for the producer one full lap ahead.
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        popped_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // empty
+    } else {
+      pos = dequeue_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t ReportQueue::drain(std::vector<Report>& out, size_t max) {
+  size_t n = 0;
+  Report r;
+  while (n < max && try_pop(r)) {
+    out.push_back(r);
+    ++n;
+  }
+  return n;
+}
+
+size_t ReportQueue::size_approx() const {
+  const size_t e = enqueue_.load(std::memory_order_relaxed);
+  const size_t d = dequeue_.load(std::memory_order_relaxed);
+  return e >= d ? e - d : 0;
+}
+
+}  // namespace sedspec::checker

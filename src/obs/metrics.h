@@ -106,6 +106,12 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Sums `other`'s buckets/count/sum into this histogram and raises max.
+  /// Used to merge per-shard histograms on demand (fleet aggregation);
+  /// concurrent record() on either side is race-free but the merged view
+  /// is then only approximately a point-in-time snapshot.
+  void merge(const Histogram& other);
+
   [[nodiscard]] static size_t bucket_of(uint64_t v);
   /// Largest value bucket i can hold (2^i - 1; saturates at UINT64_MAX).
   [[nodiscard]] static uint64_t bucket_upper(size_t i);
@@ -122,6 +128,11 @@ class Histogram {
 [[nodiscard]] std::string label(
     std::initializer_list<std::pair<std::string_view, std::string_view>> kv);
 
+/// Thread-safety (audited for the concurrent enforcement layer): lookup-
+/// or-create and the exporters serialize on one mutex; returned handles
+/// are node-stable and every handle mutation is a relaxed atomic, so any
+/// number of shard threads may update metrics concurrently with an
+/// exporter snapshot.
 class MetricsRegistry {
  public:
   /// Lookup-or-create. The returned reference is stable until the registry

@@ -37,9 +37,34 @@ const char* event_type_name(EventType t) {
   return "?";
 }
 
+void EventTracer::AtomicSlot::store(const TraceEvent& ev) {
+  ts_ns.store(ev.ts_ns, std::memory_order_relaxed);
+  dur_ns.store(ev.dur_ns, std::memory_order_relaxed);
+  a.store(ev.a, std::memory_order_relaxed);
+  b.store(ev.b, std::memory_order_relaxed);
+  name.store(ev.name, std::memory_order_relaxed);
+  cat.store(ev.cat, std::memory_order_relaxed);
+  detail.store(ev.detail, std::memory_order_relaxed);
+  type.store(static_cast<uint8_t>(ev.type), std::memory_order_relaxed);
+}
+
+TraceEvent EventTracer::AtomicSlot::load() const {
+  TraceEvent ev;
+  ev.ts_ns = ts_ns.load(std::memory_order_relaxed);
+  ev.dur_ns = dur_ns.load(std::memory_order_relaxed);
+  ev.a = a.load(std::memory_order_relaxed);
+  ev.b = b.load(std::memory_order_relaxed);
+  ev.name = name.load(std::memory_order_relaxed);
+  ev.cat = cat.load(std::memory_order_relaxed);
+  ev.detail = detail.load(std::memory_order_relaxed);
+  ev.type = static_cast<EventType>(type.load(std::memory_order_relaxed));
+  return ev;
+}
+
 EventTracer::EventTracer(size_t capacity) {
   SEDSPEC_REQUIRE(capacity > 0);
-  ring_.resize(capacity);
+  ring_ = std::make_unique<AtomicSlot[]>(capacity);
+  capacity_ = capacity;
   // Id 0 is the empty string so zero-initialized fields render as "".
   strings_.emplace_back("");
   ids_.emplace("", 0);
@@ -66,7 +91,7 @@ uint32_t EventTracer::intern(std::string_view s) {
   return id;
 }
 
-const std::string& EventTracer::string_at(uint32_t id) const {
+std::string EventTracer::string_at(uint32_t id) const {
   std::lock_guard lock(intern_mu_);
   SEDSPEC_REQUIRE(id < strings_.size());
   return strings_[id];
@@ -85,7 +110,7 @@ void EventTracer::record(EventType type, std::string_view name,
   ev.detail = detail.empty() ? 0 : intern(detail);
   ev.type = type;
   const uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
-  ring_[slot % ring_.size()] = ev;
+  ring_[slot % capacity_].store(ev);
 }
 
 void EventTracer::begin_phase(std::string_view name, std::string_view cat) {
@@ -97,22 +122,21 @@ void EventTracer::end_phase(std::string_view name, std::string_view cat) {
 }
 
 size_t EventTracer::size() const {
-  return static_cast<size_t>(
-      std::min<uint64_t>(recorded(), ring_.size()));
+  return static_cast<size_t>(std::min<uint64_t>(recorded(), capacity_));
 }
 
 uint64_t EventTracer::dropped() const {
   const uint64_t n = recorded();
-  return n > ring_.size() ? n - ring_.size() : 0;
+  return n > capacity_ ? n - capacity_ : 0;
 }
 
 std::vector<TraceEvent> EventTracer::snapshot() const {
   const uint64_t head = recorded();
-  const uint64_t count = std::min<uint64_t>(head, ring_.size());
+  const uint64_t count = std::min<uint64_t>(head, capacity_);
   std::vector<TraceEvent> out;
   out.reserve(count);
   for (uint64_t i = head - count; i < head; ++i) {
-    out.push_back(ring_[i % ring_.size()]);
+    out.push_back(ring_[i % capacity_].load());
   }
   return out;
 }

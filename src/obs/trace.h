@@ -5,12 +5,21 @@
 // The tracer is OFF unless installed: instrumentation sites do
 // `if (EventTracer* t = obs::tracer())` — a single relaxed atomic pointer
 // load — so an uninstrumented run pays one predicted branch per site.
-// Recording is lock-free-ish: a relaxed fetch_add claims a slot in a
+// Recording is lock-free: a relaxed fetch_add claims a slot in a
 // preallocated ring, the event is written in place, and wraparound
 // overwrites the oldest entries (dropped() counts them). Strings (event
 // names, device names, strategy labels) are interned into a bounded table
-// once and referenced by id, so an event record is a fixed-size POD write
-// with no allocation.
+// once and referenced by id, so an event record is a fixed-size write with
+// no allocation.
+//
+// Threading contract (concurrency layer): record() may be called from any
+// number of shard threads concurrently — every ring-slot field is a
+// relaxed atomic, so concurrent writers (same slot after wraparound) and a
+// concurrent snapshot() are data-race-free. Under contention an individual
+// snapshot entry may mix fields from two events (field-level last-writer-
+// wins) — acceptable for a lossy trace ring; counts (recorded/dropped) are
+// exact. The intern table is mutex-guarded; ids are stable for the
+// tracer's lifetime.
 //
 // Event vocabulary (EventType): guest I/O accesses, ES-CFG traversal steps,
 // checker violations/quarantines/self-heals, DMA transfers, pipeline phase
@@ -20,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -76,7 +86,9 @@ class EventTracer {
   /// (kMaxStrings); once full, unseen strings collapse to one overflow id
   /// so a pathological label stream cannot grow memory without bound.
   uint32_t intern(std::string_view s);
-  [[nodiscard]] const std::string& string_at(uint32_t id) const;
+  /// By value: the intern table may grow (and relocate) under a concurrent
+  /// intern(), so a reference could dangle the moment the lock is dropped.
+  [[nodiscard]] std::string string_at(uint32_t id) const;
 
   void record(EventType type, std::string_view name, std::string_view cat,
               std::string_view detail = {}, uint64_t a = 0, uint64_t b = 0,
@@ -86,7 +98,7 @@ class EventTracer {
   void begin_phase(std::string_view name, std::string_view cat);
   void end_phase(std::string_view name, std::string_view cat);
 
-  [[nodiscard]] size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
   /// Events currently held (<= capacity).
   [[nodiscard]] size_t size() const;
   /// Total events ever recorded.
@@ -96,8 +108,10 @@ class EventTracer {
   /// Events lost to wraparound (oldest-first overwrite).
   [[nodiscard]] uint64_t dropped() const;
 
-  /// Copies the retained events oldest-first. Intended for quiescent reads
-  /// (export time); concurrent recording may tear the boundary entries.
+  /// Copies the retained events oldest-first. Safe against concurrent
+  /// recording (no data race), but boundary entries being overwritten at
+  /// snapshot time may carry mixed fields; prefer quiescent reads for
+  /// exact exports.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
   /// Chrome trace-event JSON: {"traceEvents":[...]} with ts/dur in
@@ -110,11 +124,31 @@ class EventTracer {
  private:
   static constexpr size_t kMaxStrings = 4096;
 
+  /// One ring slot. Every field is a relaxed atomic so two writers that
+  /// collide on the slot (ring wraparound) and a concurrent snapshot()
+  /// never constitute a data race; a relaxed store compiles to a plain
+  /// register move on x86/arm64, so recording costs the same as the old
+  /// plain-struct write.
+  struct AtomicSlot {
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint32_t> name{0};
+    std::atomic<uint32_t> cat{0};
+    std::atomic<uint32_t> detail{0};
+    std::atomic<uint8_t> type{0};
+
+    void store(const TraceEvent& ev);
+    [[nodiscard]] TraceEvent load() const;
+  };
+
   mutable std::mutex intern_mu_;
   std::vector<std::string> strings_;
   std::unordered_map<std::string, uint32_t> ids_;
 
-  std::vector<TraceEvent> ring_;
+  std::unique_ptr<AtomicSlot[]> ring_;
+  size_t capacity_ = 0;
   std::atomic<uint64_t> head_{0};
   std::atomic<uint8_t> detail_{0};
 };

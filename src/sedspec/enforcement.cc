@@ -1,0 +1,162 @@
+#include "sedspec/enforcement.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "sedspec/pipeline.h"
+
+namespace sedspec::enforce {
+
+size_t RunReport::count(checker::Report::Kind kind) const {
+  size_t n = 0;
+  for (const checker::Report& r : reports) {
+    if (r.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void publish_device_specs(spec::SpecStore& store,
+                          const std::vector<std::string>& devices) {
+  // Spec construction needs a throwaway device instance per type (the
+  // training run mutates it); the produced ES-CFG is device-instance-
+  // independent and is what the store shares across shards.
+  std::vector<std::unique_ptr<guest::DeviceWorkload>> workloads;
+  std::vector<pipeline::SpecBuildJob> jobs;
+  workloads.reserve(devices.size());
+  jobs.reserve(devices.size());
+  for (const std::string& name : devices) {
+    workloads.push_back(guest::make_workload(name));
+    guest::DeviceWorkload* w = workloads.back().get();
+    jobs.push_back(pipeline::SpecBuildJob{&w->device(), [w] { w->training(); }});
+  }
+  std::vector<spec::EsCfg> specs = pipeline::build_specs_parallel(jobs);
+  for (spec::EsCfg& cfg : specs) {
+    const spec::SnapshotRef snap = store.publish(std::move(cfg));
+    log_info("enforce") << "published spec '" << snap->device_name
+                        << "' v" << snap->version;
+  }
+}
+
+EnforcementService::EnforcementService(spec::SpecStore* store,
+                                       ServiceConfig config)
+    : store_(store), config_(config) {
+  SEDSPEC_REQUIRE(store != nullptr);
+}
+
+void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
+                                   checker::ReportQueue& queue,
+                                   ShardResult& result) {
+  std::unique_ptr<guest::DeviceWorkload> workload =
+      guest::make_workload(spec.device);
+  IoBus& bus = workload->bus();
+  bus.set_access_latency_ns(config_.bus_access_latency_ns);
+  bus.set_access_latency_model(config_.latency_model);
+  if (config_.bind_bus_owners) {
+    bus.bind_owner_thread();
+  }
+
+  spec::SnapshotRef snap = store_->current(spec.device);
+  SEDSPEC_REQUIRE_MSG(snap != nullptr,
+                      "no spec published for this shard's device type");
+
+  checker::CheckerConfig ccfg = spec.checker;
+  if (ccfg.metrics_label.empty()) {
+    ccfg.metrics_label = spec.device + "#" + std::to_string(shard_id);
+  }
+
+  // (Re)deploy: a fresh checker pinning `s`, wired to the shared report
+  // queue and installed as this shard's bus proxy. The previous checker —
+  // and with it the previous snapshot pin — is released by the caller's
+  // unique_ptr assignment, strictly between guest operations.
+  auto deploy_from = [&](spec::SnapshotRef s) {
+    auto ck = std::make_unique<checker::EsChecker>(std::move(s),
+                                                   &workload->device(), ccfg);
+    ck->set_report_sink(&queue, shard_id);
+    bus.set_proxy(ck.get());
+    checker::EsChecker* raw = ck.get();
+    workload->device().set_internal_activity_hook([raw] { raw->resync(); });
+    return ck;
+  };
+  std::unique_ptr<checker::EsChecker> ck = deploy_from(std::move(snap));
+
+  Rng rng(spec.seed);
+  for (uint64_t i = 0; i < spec.ops; ++i) {
+    workload->common_operation(spec.mode, rng);
+    ++result.ops;
+    if (config_.spec_poll_ops != 0 && (i + 1) % config_.spec_poll_ops == 0 &&
+        store_->version_of(spec.device) != ck->spec_version()) {
+      result.stats.merge(ck->stats());
+      ck = deploy_from(store_->current(spec.device));
+      ++result.redeploys;
+      checker::Report r;
+      r.kind = checker::Report::Kind::kRedeploy;
+      r.shard = shard_id;
+      r.value = ck->spec_version();
+      queue.try_push(r);  // best-effort, counted by the queue either way
+    }
+  }
+
+  result.final_spec_version = ck->spec_version();
+  result.stats.merge(ck->stats());
+  result.bus_accesses = bus.access_count();
+  result.bus_owner_violations = bus.owner_violations();
+}
+
+RunReport EnforcementService::run(const std::vector<ShardSpec>& shards) {
+  RunReport report;
+  report.shards.resize(shards.size());
+  checker::ReportQueue queue(config_.report_queue_capacity);
+
+  // Single consumer draining concurrently with the producers, so a burst
+  // larger than the queue capacity is not automatically a loss.
+  std::atomic<bool> producers_done{false};
+  std::thread consumer([&] {
+    while (!producers_done.load(std::memory_order_acquire)) {
+      if (queue.drain(report.reports) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    queue.drain(report.reports);  // final sweep after the last producer
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    threads.emplace_back([&, i] {
+      ShardResult& result = report.shards[i];
+      result.device = shards[i].device;
+      result.shard = static_cast<uint32_t>(i);
+      try {
+        run_shard(shards[i], static_cast<uint32_t>(i), queue, result);
+      } catch (const std::exception& e) {
+        result.error = e.what();
+      } catch (...) {
+        result.error = "unknown shard failure";
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  producers_done.store(true, std::memory_order_release);
+  consumer.join();
+
+  for (const ShardResult& s : report.shards) {
+    report.fleet.merge(s.stats);
+    report.total_ops += s.ops;
+    report.total_redeploys += s.redeploys;
+  }
+  report.reports_pushed = queue.pushed();
+  report.reports_dropped = queue.dropped();
+  return report;
+}
+
+}  // namespace sedspec::enforce

@@ -1,0 +1,121 @@
+// EnforcementService — concurrent multi-VM runtime protection.
+//
+// The paper evaluates one ES-Checker guarding one emulated device; a real
+// hypervisor host runs many VMs, each with its own device instances, all
+// protected at once. This layer models that deployment:
+//
+//   - A shared SpecStore holds the current immutable ES-CFG snapshot per
+//     device type (copy-on-write redeploy, see spec/spec_store.h).
+//   - Each *shard* is one VM's device: its own DeviceWorkload (device, bus,
+//     guest memory, driver model), its own EsChecker + shadow StateArena,
+//     driven by its own thread. Nothing mutable is shared between shards —
+//     the single-threaded discipline is enforced with IoBus owner binding.
+//   - Shards pin the snapshot they deployed; every `spec_poll_ops`
+//     operations they poll the store and, on a version change, build a
+//     fresh checker from the new snapshot and swap it in *between* guest
+//     operations. The old snapshot dies with the old checker.
+//   - Violation/containment reports flow through one bounded lock-free
+//     ReportQueue (checker/report_queue.h) to a consumer thread; the check
+//     hot path never blocks on reporting.
+//
+// See DESIGN.md §9 for the full concurrency model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+#include "checker/report_queue.h"
+#include "guest/workload.h"
+#include "spec/spec_store.h"
+#include "vdev/bus.h"
+
+namespace sedspec::enforce {
+
+/// One VM's protected device shard.
+struct ShardSpec {
+  std::string device;  // workload name (guest::workload_names())
+  uint64_t ops = 1000;  // benign common operations to drive
+  uint64_t seed = 1;    // per-shard deterministic RNG seed
+  guest::InteractionMode mode = guest::InteractionMode::kSequential;
+  checker::CheckerConfig checker;  // metrics_label defaults to device#shard
+};
+
+struct ServiceConfig {
+  size_t report_queue_capacity = 1024;
+  /// Poll the store for a newer spec every N operations (0 = never).
+  uint64_t spec_poll_ops = 64;
+  /// Bind each shard's bus (and DMA engine) to its thread and count
+  /// cross-thread accesses (tests assert the count stays zero).
+  bool bind_bus_owners = true;
+  /// Per-access VM-exit cost and how it is paid (see IoBus). Throughput
+  /// scaling runs use kSleep so shards overlap their I/O waits.
+  uint64_t bus_access_latency_ns = 0;
+  IoBus::LatencyModel latency_model = IoBus::LatencyModel::kSpin;
+};
+
+struct ShardResult {
+  std::string device;
+  uint32_t shard = 0;
+  uint64_t ops = 0;        // operations actually driven
+  uint64_t redeploys = 0;  // checker swaps after a store version change
+  uint64_t final_spec_version = 0;
+  uint64_t bus_accesses = 0;
+  uint64_t bus_owner_violations = 0;
+  checker::CheckerStats stats;  // accumulated across redeploy swaps
+  std::string error;            // non-empty: the shard thread failed
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct RunReport {
+  std::vector<ShardResult> shards;
+  /// Sum of every shard's accumulated CheckerStats.
+  checker::CheckerStats fleet;
+  /// Everything the consumer drained from the report queue, in drain order.
+  std::vector<checker::Report> reports;
+  uint64_t reports_pushed = 0;
+  uint64_t reports_dropped = 0;  // queue-full drops (checker + redeploy)
+  uint64_t total_ops = 0;
+  uint64_t total_redeploys = 0;
+
+  [[nodiscard]] bool ok() const {
+    for (const ShardResult& s : shards) {
+      if (!s.ok()) {
+        return false;
+      }
+    }
+    return !shards.empty();
+  }
+  [[nodiscard]] size_t count(checker::Report::Kind kind) const;
+};
+
+/// Offline fleet provisioning: builds a spec for every named device type
+/// (phases 1+2, concurrently via pipeline::build_specs_parallel) and
+/// publishes each into `store` (version 1, or prev+1 on republish).
+void publish_device_specs(spec::SpecStore& store,
+                          const std::vector<std::string>& devices);
+
+class EnforcementService {
+ public:
+  /// `store` must outlive the service and hold a spec for every device
+  /// type the shards name before run() is called.
+  EnforcementService(spec::SpecStore* store, ServiceConfig config = {});
+
+  /// Runs every shard on its own thread plus one report-consumer thread;
+  /// returns when all shards have finished and the queue is fully drained.
+  /// A shard failure is captured in its ShardResult, never thrown.
+  [[nodiscard]] RunReport run(const std::vector<ShardSpec>& shards);
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  void run_shard(const ShardSpec& spec, uint32_t shard_id,
+                 checker::ReportQueue& queue, ShardResult& result);
+
+  spec::SpecStore* store_;
+  ServiceConfig config_;
+};
+
+}  // namespace sedspec::enforce

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "cfg/analyzer.h"
 #include "checker/checker.h"
@@ -58,6 +59,22 @@ CollectionResult collect(Device& device,
 /// Phases 1+2 in one call. The device is reset before returning.
 [[nodiscard]] spec::EsCfg build_spec(Device& device,
                                      const std::function<void()>& training);
+
+/// One device's phase-1+2 job for build_specs_parallel. The device (and
+/// everything its training callback touches) must be private to the job:
+/// jobs run concurrently, one per thread.
+struct SpecBuildJob {
+  Device* device = nullptr;
+  std::function<void()> training;
+};
+
+/// Runs build_spec for every job concurrently (one thread per job — spec
+/// construction for a whole device fleet is the paper's offline phase, and
+/// the five evaluation devices build independently). Results are returned
+/// in job order. The first exception any job raises is rethrown after all
+/// threads have joined.
+[[nodiscard]] std::vector<spec::EsCfg> build_specs_parallel(
+    const std::vector<SpecBuildJob>& jobs);
 
 /// Phase 3: create a checker and install it as the bus proxy.
 [[nodiscard]] std::unique_ptr<checker::EsChecker> deploy(

@@ -1,11 +1,19 @@
 #include "vdev/bus.h"
 
 #include <chrono>
+#include <functional>
+#include <thread>
 
 #include "common/assert.h"
 #include "obs/trace.h"
 
 namespace sedspec {
+
+namespace {
+uint64_t this_thread_token() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+}
+}  // namespace
 
 void spin_wait_ns(uint64_t ns) {
   if (ns == 0) {
@@ -23,7 +31,30 @@ IoBus::IoBus()
       obs_blocked_(&obs::metrics().counter("bus_blocked_total")),
       obs_proxy_faults_(&obs::metrics().counter("bus_proxy_faults_total")) {}
 
-void IoBus::exit_cost() const { spin_wait_ns(access_latency_ns_); }
+void IoBus::exit_cost() const {
+  if (access_latency_ns_ == 0) {
+    return;
+  }
+  if (latency_model_ == LatencyModel::kSleep) {
+    // Model the trapped vCPU blocking (not burning) its core during the
+    // exit. Actual sleep duration is at the mercy of timer slack —
+    // throughput runs care about overlap, not the exact figure.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(access_latency_ns_));
+    return;
+  }
+  spin_wait_ns(access_latency_ns_);
+}
+
+void IoBus::bind_owner_thread() {
+  owner_token_.store(this_thread_token(), std::memory_order_relaxed);
+}
+
+void IoBus::check_owner() {
+  const uint64_t owner = owner_token_.load(std::memory_order_relaxed);
+  if (owner != 0 && owner != this_thread_token()) {
+    owner_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 void IoBus::trace_access_slow(obs::EventTracer& tr, const Device& dev,
                               const IoAccess& io) const {
@@ -78,6 +109,7 @@ Device* IoBus::device_at(IoSpace space, uint64_t addr) const {
 }
 
 uint64_t IoBus::read(IoSpace space, uint64_t addr, uint8_t size) {
+  check_owner();
   note_access();
   exit_cost();
   Device* dev = device_at(space, addr);
@@ -108,6 +140,7 @@ uint64_t IoBus::read(IoSpace space, uint64_t addr, uint8_t size) {
 }
 
 void IoBus::write(IoSpace space, uint64_t addr, uint8_t size, uint64_t value) {
+  check_owner();
   note_access();
   exit_cost();
   Device* dev = device_at(space, addr);

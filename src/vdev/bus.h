@@ -6,6 +6,7 @@
 // "anomaly detection before the execution of emulated devices".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,34 @@ class IoBus {
     return access_latency_ns_;
   }
 
+  /// How the exit cost is paid. kSpin (default) busy-waits — faithful for
+  /// single-VM latency measurements. kSleep blocks the thread instead,
+  /// modeling the trapped vCPU yielding the core during the exit — the
+  /// right model for multi-shard throughput runs, where concurrent VMs
+  /// overlap their I/O waits (and the only one that scales on a
+  /// constrained-core host). See DESIGN.md §9.
+  enum class LatencyModel : uint8_t { kSpin, kSleep };
+  void set_access_latency_model(LatencyModel m) { latency_model_ = m; }
+  [[nodiscard]] LatencyModel access_latency_model() const {
+    return latency_model_;
+  }
+
+  /// Shard-ownership guard for the concurrent enforcement layer: each bus
+  /// (and its devices, checker, shadow state) is owned by exactly one shard
+  /// thread, and that single-threaded discipline is what makes the
+  /// non-atomic device/checker internals race-free. bind_owner_thread()
+  /// records the calling thread; from then on read()/write() from any other
+  /// thread increments owner_violations() (relaxed counter — never throws
+  /// on the hot path, tests assert it stays zero). clear_owner_thread()
+  /// lifts the binding (e.g. before handing the bus to a new shard).
+  void bind_owner_thread();
+  void clear_owner_thread() {
+    owner_token_.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t owner_violations() const {
+    return owner_violations_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] Device* device_at(IoSpace space, uint64_t addr) const;
 
  private:
@@ -80,6 +109,7 @@ class IoBus {
   };
 
   void exit_cost() const;
+  void check_owner();
   bool proxy_allows(Device& dev, const IoAccess& io);
   void proxy_done(Device& dev, const IoAccess& io);
   void note_access() {
@@ -106,6 +136,11 @@ class IoBus {
   uint64_t blocked_ = 0;
   uint64_t proxy_faults_ = 0;
   uint64_t access_latency_ns_ = 0;
+  LatencyModel latency_model_ = LatencyModel::kSpin;
+  // Owner token: hash of the bound thread id with bit 0 forced on (so 0
+  // unambiguously means "unbound"). Relaxed loads on the access path.
+  std::atomic<uint64_t> owner_token_{0};
+  std::atomic<uint64_t> owner_violations_{0};
   // Process-wide totals in the default obs registry (resolved once at
   // construction; relaxed-atomic increments on the access path).
   obs::Counter* obs_accesses_;

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -87,8 +89,29 @@ class DmaEngine {
     bytes_read_ = bytes_written_ = transfers_ = faults_injected_ = 0;
   }
 
+  /// Shard-ownership guard, mirroring IoBus: the engine's plain counters
+  /// assume single-threaded use, so the concurrency tests bind each engine
+  /// to its shard thread and assert owner_violations() stays zero.
+  void bind_owner_thread() {
+    owner_token_.store(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1,
+        std::memory_order_relaxed);
+  }
+  void clear_owner_thread() {
+    owner_token_.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t owner_violations() const {
+    return owner_violations_.load(std::memory_order_relaxed);
+  }
+
  private:
   void note_transfer(bool is_read, uint64_t addr, size_t len) {
+    const uint64_t owner = owner_token_.load(std::memory_order_relaxed);
+    if (owner != 0 &&
+        owner != (std::hash<std::thread::id>{}(std::this_thread::get_id()) |
+                  1)) {
+      owner_violations_.fetch_add(1, std::memory_order_relaxed);
+    }
     obs_transfers_->inc();
     obs_bytes_->inc(len);
     if (obs::EventTracer* tr = obs::tracer()) {
@@ -102,6 +125,8 @@ class DmaEngine {
   uint64_t bytes_written_ = 0;
   uint64_t transfers_ = 0;
   uint64_t faults_injected_ = 0;
+  std::atomic<uint64_t> owner_token_{0};
+  std::atomic<uint64_t> owner_violations_{0};
   FaultHook fault_hook_;
   // Process-wide totals in the default obs registry.
   obs::Counter* obs_transfers_;

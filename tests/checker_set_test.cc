@@ -93,7 +93,7 @@ TEST(CheckerSet, CompromiseOfOneDeviceLeavesOthersRunning) {
 // exported field-by-field by publish_checker_stats(). If this assert fires
 // you added (or removed) a field — update merge(), publish_checker_stats(),
 // and the MergeSumsEveryField test below in the same change.
-static_assert(sizeof(checker::CheckerStats) == 16 * sizeof(uint64_t),
+static_assert(sizeof(checker::CheckerStats) == 18 * sizeof(uint64_t),
               "CheckerStats changed size: update merge()/"
               "publish_checker_stats()/MergeSumsEveryField");
 
@@ -115,6 +115,8 @@ TEST(CheckerStats, MergeSumsEveryField) {
   a.quarantines = 14;
   a.self_heals = 15;
   a.check_ns = 16;
+  a.reports_emitted = 17;
+  a.reports_dropped = 18;
 
   checker::CheckerStats b;
   b.rounds = 100;
@@ -133,6 +135,8 @@ TEST(CheckerStats, MergeSumsEveryField) {
   b.quarantines = 1400;
   b.self_heals = 1500;
   b.check_ns = 1600;
+  b.reports_emitted = 1700;
+  b.reports_dropped = 1800;
 
   a.merge(b);
   EXPECT_EQ(a.rounds, 101u);
@@ -151,6 +155,8 @@ TEST(CheckerStats, MergeSumsEveryField) {
   EXPECT_EQ(a.quarantines, 1414u);
   EXPECT_EQ(a.self_heals, 1515u);
   EXPECT_EQ(a.check_ns, 1616u);
+  EXPECT_EQ(a.reports_emitted, 1717u);
+  EXPECT_EQ(a.reports_dropped, 1818u);
 }
 
 TEST(CheckerSet, PublishMetricsExportsPerCheckerAndFleetGauges) {

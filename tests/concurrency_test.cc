@@ -1,0 +1,191 @@
+// Concurrent multi-VM enforcement (DESIGN.md §9): sharded checkers over
+// immutable SpecStore snapshots.
+//
+// The flagship scenario: 8 shards spanning all five device types replay
+// benign workloads on their own threads while a writer thread keeps
+// redeploying fresh spec snapshots — and nothing goes wrong: zero
+// violations or blocks on benign traffic, zero lost reports, zero
+// cross-thread bus accesses, and the fleet aggregate equals the sum of the
+// per-shard stats. Run under the TSan preset (SEDSPEC_TSAN) this is also
+// the data-race gate for the whole enforcement stack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sedspec/enforcement.h"
+
+namespace sedspec {
+namespace {
+
+using checker::Report;
+using enforce::EnforcementService;
+using enforce::RunReport;
+using enforce::ServiceConfig;
+using enforce::ShardSpec;
+
+std::vector<ShardSpec> make_shards(size_t count, uint64_t ops) {
+  const std::vector<std::string>& names = guest::workload_names();
+  std::vector<ShardSpec> shards(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards[i].device = names[i % names.size()];
+    shards[i].ops = ops;
+    shards[i].seed = 1000 + i;
+    shards[i].mode = guest::InteractionMode::kSequential;
+  }
+  return shards;
+}
+
+TEST(Concurrency, EightShardsBenignUnderLiveRedeployStayClean) {
+  spec::SpecStore store;
+  enforce::publish_device_specs(store, guest::workload_names());
+  ASSERT_EQ(store.size(), guest::workload_names().size());
+
+  ServiceConfig config;
+  config.spec_poll_ops = 4;
+  EnforcementService service(&store, config);
+  const std::vector<ShardSpec> shards = make_shards(8, 60);
+
+  // Writer thread: keeps republishing every device's current spec (same
+  // content, new version) for the whole run — a live rolling redeploy.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    while (!stop_writer.load(std::memory_order_acquire)) {
+      for (const std::string& name : store.device_names()) {
+        store.publish(spec::EsCfg(store.current(name)->cfg));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const RunReport report = service.run(shards);
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.shards.size(), 8u);
+
+  uint64_t summed_rounds = 0;
+  for (const enforce::ShardResult& s : report.shards) {
+    SCOPED_TRACE(s.device + "#" + std::to_string(s.shard));
+    EXPECT_EQ(s.ops, 60u);
+    // Benign traffic against its own trained spec: nothing fires, even
+    // while snapshots are being swapped underneath.
+    EXPECT_EQ(s.stats.blocked, 0u);
+    EXPECT_EQ(s.stats.warnings, 0u);
+    for (int strat = 0; strat < 3; ++strat) {
+      EXPECT_EQ(s.stats.violations_by_strategy[strat], 0u);
+    }
+    EXPECT_EQ(s.stats.contained_faults, 0u);
+    EXPECT_EQ(s.bus_owner_violations, 0u);
+    EXPECT_GT(s.stats.rounds, 0u);
+    // Each redeploy strictly advances the pinned version (the writer may
+    // publish faster than the shard polls, so versions can skip ahead).
+    EXPECT_GE(s.final_spec_version, 1 + s.redeploys);
+    summed_rounds += s.stats.rounds;
+  }
+
+  // Redeploys actually happened mid-run (the writer publishes every ~1 ms;
+  // a shard's 60 checked operations take far longer than that).
+  EXPECT_GT(report.total_redeploys, 0u);
+  EXPECT_EQ(report.count(Report::Kind::kRedeploy), report.total_redeploys);
+
+  // Stats merge stability: the fleet aggregate is exactly the per-shard sum.
+  EXPECT_EQ(report.fleet.rounds, summed_rounds);
+  EXPECT_EQ(report.total_ops, 8u * 60u);
+
+  // Report conservation: everything pushed was drained, nothing dropped.
+  EXPECT_EQ(report.reports_dropped, 0u);
+  EXPECT_EQ(report.reports.size(), report.reports_pushed);
+}
+
+TEST(Concurrency, PinnedSnapshotSurvivesStoreSupersession) {
+  spec::SpecStore store;
+  enforce::publish_device_specs(store, {"fdc"});
+  const spec::SnapshotRef pinned = store.current("fdc");
+  ASSERT_NE(pinned, nullptr);
+
+  // A checker deployed against v1 keeps working after v2/v3 supersede it.
+  auto wl = guest::make_workload("fdc");
+  checker::EsChecker ck(pinned, &wl->device(), {});
+  wl->bus().set_proxy(&ck);
+  wl->device().set_internal_activity_hook([&ck] { ck.resync(); });
+
+  store.publish(spec::EsCfg(pinned->cfg));
+  store.publish(spec::EsCfg(pinned->cfg));
+  EXPECT_EQ(store.version_of("fdc"), 3u);
+  EXPECT_EQ(ck.spec_version(), 1u);
+
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    wl->common_operation(guest::InteractionMode::kSequential, rng);
+  }
+  EXPECT_GT(ck.stats().rounds, 0u);
+  EXPECT_EQ(ck.stats().blocked, 0u);
+  EXPECT_EQ(ck.stats().warnings, 0u);
+}
+
+TEST(Concurrency, ShardFailureIsCapturedNotThrown) {
+  spec::SpecStore store;  // empty: no spec for any device
+  EnforcementService service(&store);
+  std::vector<ShardSpec> shards = make_shards(1, 10);
+  const RunReport report = service.run(shards);
+  ASSERT_EQ(report.shards.size(), 1u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.shards[0].error.empty());
+  EXPECT_EQ(report.shards[0].ops, 0u);
+}
+
+// Violating traffic on one shard is attributed to that shard: a mixed run
+// where one shard's checker is wired to warn (monitor mode would require
+// rare ops; instead give the victim an untrained-op spec mismatch via a
+// tiny traversal budget) while siblings stay benign.
+TEST(Concurrency, ViolationsAreAttributedToTheEmittingShard) {
+  spec::SpecStore store;
+  enforce::publish_device_specs(store, {"fdc", "pcnet"});
+
+  ServiceConfig config;
+  config.spec_poll_ops = 0;  // no redeploys: isolate attribution
+  EnforcementService service(&store, config);
+
+  std::vector<ShardSpec> shards = make_shards(4, 30);
+  shards[0].device = "fdc";
+  shards[1].device = "pcnet";
+  shards[2].device = "fdc";
+  shards[3].device = "pcnet";
+  // Victim shard 2: a pathologically small traversal budget makes every
+  // checked round a conditional-jump finding; monitor mode keeps it
+  // running (and reporting) for the whole run.
+  shards[2].checker.max_steps = 1;
+  shards[2].checker.monitor_only = true;
+
+  const RunReport report = service.run(shards);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_GT(report.shards[2].stats.violations_by_strategy[2], 0u);
+  for (size_t i : {size_t{0}, size_t{1}, size_t{3}}) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(report.shards[i].stats.warnings, 0u);
+    EXPECT_EQ(report.shards[i].stats.blocked, 0u);
+  }
+  // Every violation report drained carries the victim's shard id. The
+  // victim's burst may overflow the bounded queue — that is the designed
+  // overflow policy — so the checks are conservation, not zero-drop:
+  // everything accepted was drained, and every drop is accounted to the
+  // victim's checker stats.
+  size_t victim_reports = 0;
+  for (const Report& r : report.reports) {
+    if (r.kind == Report::Kind::kViolation) {
+      EXPECT_EQ(r.shard, 2u);
+      ++victim_reports;
+    }
+  }
+  EXPECT_EQ(victim_reports, report.shards[2].stats.reports_emitted);
+  EXPECT_EQ(report.reports.size(), report.reports_pushed);
+  EXPECT_EQ(report.reports_dropped,
+            report.shards[2].stats.reports_dropped);
+}
+
+}  // namespace
+}  // namespace sedspec

@@ -1,0 +1,149 @@
+// SpecStore: copy-on-write snapshot semantics plus the persistence trust
+// boundary — a serialized store round-trips byte-exactly, and a truncated
+// or bit-flipped store is rejected with a structured LoadError, never a
+// crash or a silently-wrong deployment.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "guest/workload.h"
+#include "spec/serial.h"
+#include "spec/spec_store.h"
+
+namespace sedspec {
+namespace {
+
+using spec::LoadStatus;
+using spec::SnapshotRef;
+using spec::SpecStore;
+
+spec::EsCfg build_spec_for(const std::string& name) {
+  auto w = guest::make_workload(name);
+  return pipeline::build_spec(w->device(), [&] { w->training(); });
+}
+
+TEST(SpecStore, PublishVersionsMonotonicallyAndOldSnapshotsSurvive) {
+  SpecStore store;
+  spec::EsCfg cfg = build_spec_for("fdc");
+  const SnapshotRef v1 = store.publish(cfg);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(store.version_of("fdc"), 1u);
+
+  const SnapshotRef v2 = store.publish(cfg);
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(store.current("fdc"), v2);
+  EXPECT_EQ(store.publish_count(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+
+  // The superseded snapshot is untouched while pinned — the property the
+  // concurrent redeploy path depends on.
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->cfg.device_name, "fdc");
+
+  EXPECT_EQ(store.current("nonesuch"), nullptr);
+  EXPECT_EQ(store.version_of("nonesuch"), 0u);
+}
+
+TEST(SpecStore, SerializedStoreRoundTripsVersionsAndSpecs) {
+  SpecStore store;
+  const spec::EsCfg fdc = build_spec_for("fdc");
+  store.publish(fdc);
+  store.publish(fdc);  // fdc at v2
+  store.publish(build_spec_for("pcnet"));
+
+  const std::vector<uint8_t> bytes = store.serialize();
+  SpecStore restored;
+  const spec::LoadError err = SpecStore::load(bytes, restored);
+  ASSERT_TRUE(err.ok()) << err.describe();
+
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.version_of("fdc"), 2u);
+  EXPECT_EQ(restored.version_of("pcnet"), 1u);
+  // Nested specs survive byte-exactly (serialize is deterministic).
+  EXPECT_EQ(spec::serialize(restored.current("fdc")->cfg),
+            spec::serialize(store.current("fdc")->cfg));
+  EXPECT_EQ(spec::serialize(restored.current("pcnet")->cfg),
+            spec::serialize(store.current("pcnet")->cfg));
+
+  // Loading into a non-empty store is refused (no silent merge).
+  SpecStore busy;
+  busy.publish(fdc);
+  EXPECT_EQ(SpecStore::load(bytes, busy).status, LoadStatus::kMalformed);
+  EXPECT_EQ(busy.version_of("fdc"), 1u);
+}
+
+TEST(SpecStore, TruncationAtEveryLengthIsRejectedNotCrashed) {
+  SpecStore store;
+  store.publish(build_spec_for("fdc"));
+  const std::vector<uint8_t> bytes = store.serialize();
+
+  // Sweep a prefix of every length plus a few long ones: every truncation
+  // must yield a structured rejection.
+  for (size_t len = 0; len < bytes.size();
+       len += (len < 64 ? 1 : bytes.size() / 37)) {
+    SpecStore out;
+    const spec::LoadError err =
+        SpecStore::load(std::span(bytes.data(), len), out);
+    EXPECT_FALSE(err.ok()) << "truncation to " << len << " bytes accepted";
+    EXPECT_EQ(out.size(), 0u);
+  }
+}
+
+TEST(SpecStore, SeededBitFlipsNeverCrashAndNeverLoadCorrupt) {
+  SpecStore store;
+  store.publish(build_spec_for("fdc"));
+  const std::vector<uint8_t> golden = store.serialize();
+
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> bytes = golden;
+    const size_t pos = rng.below(bytes.size());
+    bytes[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+    SpecStore out;
+    const spec::LoadError err = SpecStore::load(bytes, out);
+    // A payload flip must trip the CRC; an envelope flip trips magic /
+    // version / length / CRC. Either way the store stays empty.
+    EXPECT_FALSE(err.ok())
+        << "bit flip at byte " << pos << " loaded successfully";
+    EXPECT_EQ(out.size(), 0u);
+  }
+}
+
+TEST(SpecStore, StoreEnvelopeStatusesMirrorSpecLoad) {
+  SpecStore store;
+  store.publish(build_spec_for("fdc"));
+  std::vector<uint8_t> bytes = store.serialize();
+
+  {
+    SpecStore out;
+    EXPECT_EQ(SpecStore::load(std::span(bytes.data(), 3), out).status,
+              LoadStatus::kTooShort);
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[0] ^= 0xFF;
+    SpecStore out;
+    EXPECT_EQ(SpecStore::load(bad, out).status, LoadStatus::kBadMagic);
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[4] ^= 0xFF;  // format version field
+    SpecStore out;
+    EXPECT_EQ(SpecStore::load(bad, out).status, LoadStatus::kVersionSkew);
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad.push_back(0);  // length no longer matches
+    SpecStore out;
+    EXPECT_EQ(SpecStore::load(bad, out).status, LoadStatus::kLengthMismatch);
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad.back() ^= 0x01;  // payload flip
+    SpecStore out;
+    EXPECT_EQ(SpecStore::load(bad, out).status, LoadStatus::kCrcMismatch);
+  }
+}
+
+}  // namespace
+}  // namespace sedspec
