@@ -1,0 +1,144 @@
+// canary_rollout — quick-start for a canaried spec redeploy.
+//
+// Walks the fleet control plane end to end on a 4-shard FDC fleet:
+//
+//   1. A retrained candidate is staged and promoted through the full
+//      state machine (Staging → Shadow 50% → Shadow 100% → Promoting →
+//      Active), printing every persisted state transition and window
+//      verdict along the way.
+//   2. An over-tight candidate (trained on a sliver of the benign mix) is
+//      rolled out the same way: the shadow stage sees its would-be false
+//      positives and auto-rolls back — the baseline spec never stops
+//      enforcing and no benign I/O was ever blocked.
+//   3. One tenant-level policy write ("new CVE: enforce fdc everywhere")
+//      hardens an opted-out shard mid-run via the tighten-only policy
+//      tree.
+//
+// Usage: canary_rollout
+#include <cstdio>
+#include <vector>
+
+#include "common/log.h"
+#include "control/control_plane.h"
+#include "guest/workload.h"
+#include "sedspec/pipeline.h"
+#include "spec/serial.h"
+
+using namespace sedspec;
+
+namespace {
+
+spec::EsCfg train_spec(int training_ops) {
+  auto w = guest::make_workload("fdc");
+  if (training_ops <= 0) {
+    return pipeline::build_spec(w->device(), [&] { w->training(); });
+  }
+  Rng rng(99);
+  return pipeline::build_spec(w->device(), [&] {
+    for (int i = 0; i < training_ops; ++i) {
+      w->common_operation(guest::InteractionMode::kSequential, rng);
+    }
+  });
+}
+
+std::vector<enforce::ShardSpec> fleet(size_t n) {
+  std::vector<enforce::ShardSpec> shards(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards[i].device = "fdc";
+    shards[i].seed = 400 + i;
+  }
+  return shards;
+}
+
+void print_outcome(const control::ControlPlane& plane,
+                   const control::RolloutOutcome& out) {
+  for (const control::WindowRecord& w : out.windows) {
+    std::printf("  window %s stage=%u attempt=%u: shadow_shards=%llu "
+                "would_block=%llu verdict=%s\n",
+                control::rollout_state_name(w.state).c_str(), w.stage,
+                w.attempt,
+                static_cast<unsigned long long>(w.observation.shadow_shards),
+                static_cast<unsigned long long>(w.observation.would_block),
+                w.decision.verdict == control::StageVerdict::kPromote
+                    ? "promote"
+                    : w.decision.verdict == control::StageVerdict::kRetry
+                          ? "retry"
+                          : "rollback");
+  }
+  std::printf("  journal:");
+  for (const auto& bytes : plane.journal()) {
+    control::RolloutRecord rec;
+    if (control::RolloutRecord::load(bytes, rec).ok()) {
+      std::printf(" %s", control::rollout_state_name(rec.state).c_str());
+    }
+  }
+  std::printf("\n  terminal: %s — %s\n",
+              control::rollout_state_name(out.record.state).c_str(),
+              out.record.reason.c_str());
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kError);
+
+  spec::SpecStore active;
+  active.publish(train_spec(0));
+  std::printf("baseline fdc spec published (v%llu)\n\n",
+              static_cast<unsigned long long>(active.version_of("fdc")));
+
+  control::RolloutConfig cfg;
+  cfg.stage_fractions = {0.5, 1.0};
+  cfg.observe_ops = 24;
+
+  // --- 1. A good candidate promotes. -----------------------------------
+  std::printf("== rollout 1: retrained candidate ==\n");
+  control::ControlPlane plane(&active);
+  plane.stage_candidate(train_spec(0));
+  const auto good = plane.run_rollout("fdc", fleet(4), cfg);
+  print_outcome(plane, good);
+  std::printf("  active store now v%llu\n\n",
+              static_cast<unsigned long long>(active.version_of("fdc")));
+
+  // --- 2. An over-tight candidate rolls back from shadow. --------------
+  std::printf("== rollout 2: over-tight candidate ==\n");
+  control::ControlPlane plane2(&active);
+  plane2.stage_candidate(train_spec(2));  // trained on 2 ops: too tight
+  const uint64_t before = active.version_of("fdc");
+  const auto bad = plane2.run_rollout("fdc", fleet(4), cfg);
+  print_outcome(plane2, bad);
+  std::printf("  active store still v%llu (baseline kept enforcing)\n\n",
+              static_cast<unsigned long long>(active.version_of("fdc")));
+
+  // --- 3. One tenant policy write hardens an opted-out shard. ----------
+  std::printf("== policy: enforce fdc everywhere in one write ==\n");
+  control::PolicyTree tree;
+  enforce::ServiceConfig svc;
+  svc.policy = &tree;
+  svc.spec_poll_ops = 8;
+  auto shards = fleet(2);
+  shards[1].unprotected = true;  // this shard opted out of enforcement
+  shards[1].ops = 400;
+  shards[1].op_hook = [&tree](uint64_t op) {
+    if (op == 100) {
+      control::Policy p;
+      p.per_device["fdc"].enforce = true;
+      tree.tighten_tenant(p);  // the one write
+    }
+  };
+  enforce::EnforcementService service(&active, svc);
+  const enforce::RunReport report = service.run(shards);
+  std::printf("  opted-out shard: ended_protected=%d policy_redeploys=%llu "
+              "checked_rounds=%llu\n",
+              report.shards[1].ended_protected ? 1 : 0,
+              static_cast<unsigned long long>(
+                  report.shards[1].policy_redeploys),
+              static_cast<unsigned long long>(report.shards[1].stats.rounds));
+
+  const bool ok = good.promoted() &&
+                  bad.record.state == control::RolloutState::kRolledBack &&
+                  active.version_of("fdc") == before &&
+                  report.shards[1].ended_protected;
+  std::printf("\n%s\n", ok ? "canary_rollout PASSED" : "canary_rollout FAILED");
+  return ok ? 0 : 1;
+}

@@ -55,7 +55,7 @@ std::string failure_policy_name(FailurePolicy p) {
 // silently vanish from fleet aggregation. If this assert fires, extend
 // merge(), publish_checker_stats(), and the field-by-field merge test
 // (checker_set_test.cc), then bump the expected size.
-static_assert(sizeof(CheckerStats) == 18 * sizeof(uint64_t),
+static_assert(sizeof(CheckerStats) == 19 * sizeof(uint64_t),
               "CheckerStats changed: update merge()/publish_checker_stats()/"
               "the merge unit test, then this assert");
 
@@ -78,6 +78,7 @@ void CheckerStats::merge(const CheckerStats& other) {
   check_ns += other.check_ns;
   reports_emitted += other.reports_emitted;
   reports_dropped += other.reports_dropped;
+  redeploy_retries += other.redeploy_retries;
 }
 
 std::string report_kind_name(Report::Kind k) {
@@ -145,6 +146,7 @@ void publish_checker_stats(obs::MetricsRegistry& registry,
   set("checker_check_ns", stats.check_ns);
   set("checker_reports_emitted", stats.reports_emitted);
   set("checker_reports_dropped", stats.reports_dropped);
+  set("checker_redeploy_retries", stats.redeploy_retries);
 }
 
 std::string severity_name(Severity s) {
@@ -211,6 +213,17 @@ const std::string& EsChecker::metrics_label() const {
                                        : config_.metrics_label;
 }
 
+void EsChecker::set_report_sink(ReportSink* sink, uint32_t shard_id) {
+  report_sink_ = sink;
+  shard_id_ = shard_id;
+  drop_counter_ =
+      sink == nullptr
+          ? nullptr
+          : &obs::metrics().counter(
+                "report_queue_dropped_total",
+                obs::label({{"shard", std::to_string(shard_id)}}));
+}
+
 void EsChecker::emit_report(Report::Kind kind, Strategy strategy, SiteId site,
                             uint64_t value) {
   if (report_sink_ == nullptr) {
@@ -230,6 +243,7 @@ void EsChecker::emit_report(Report::Kind kind, Strategy strategy, SiteId site,
     ++stats_.reports_emitted;
   } else {
     ++stats_.reports_dropped;
+    drop_counter_->inc();
   }
 }
 

@@ -235,6 +235,12 @@ struct CheckerStats {
   uint64_t reports_emitted = 0;
   uint64_t reports_dropped = 0;
 
+  // Redeploy robustness (control plane): transient spec-fetch failures
+  // retried with backoff during shard spec polling. Incremented by the
+  // enforcement shard loop, not the checker itself — it lives here so fleet
+  // aggregation and publish_checker_stats carry it for free.
+  uint64_t redeploy_retries = 0;
+
   /// Sums another checker's counters into this one (fleet aggregation).
   void merge(const CheckerStats& other);
 };
@@ -309,11 +315,11 @@ class EsChecker final : public sedspec::IoProxy {
 
   /// Ships violation/containment reports to `sink` tagged with `shard_id`
   /// (see Report). nullptr detaches. Offers that the sink rejects are
-  /// counted in stats().reports_dropped — the check path never blocks.
-  void set_report_sink(ReportSink* sink, uint32_t shard_id = 0) {
-    report_sink_ = sink;
-    shard_id_ = shard_id;
-  }
+  /// counted in stats().reports_dropped AND in the labeled process counter
+  /// `report_queue_dropped_total{shard=...}` (resolved here, once) — the
+  /// check path never blocks, and rollback triggers can watch report loss
+  /// per shard without polling every checker.
+  void set_report_sink(ReportSink* sink, uint32_t shard_id = 0);
 
   /// Label used for the `device=` metric dimension (config override or the
   /// spec's device name).
@@ -360,6 +366,7 @@ class EsChecker final : public sedspec::IoProxy {
   Device* device_;
   CheckerConfig config_;
   ReportSink* report_sink_ = nullptr;
+  obs::Counter* drop_counter_ = nullptr;  // report_queue_dropped_total{shard}
   uint32_t shard_id_ = 0;
   uint64_t report_seq_ = 0;
   sedspec::StateArena shadow_;

@@ -1,0 +1,78 @@
+// Control-plane fault-injection campaign.
+//
+// Sweeps seed-driven faults through every control-plane seam — candidate
+// corruption, spec-distribution outages and transients, shard crashes
+// mid-window, delayed metric feeds, persisted-record damage, and crashes
+// mid-promotion — running a full canaried rollout per fault and verifying
+// the acceptance bar end to end:
+//
+//   - every rollout ends in a terminal state (zero stuck rollouts);
+//   - every bad rollout ends RolledBack with the prior spec still
+//     enforcing (byte-compared, plus a live untrained-access probe);
+//   - shadow candidates never block (zero fail-open escapes through the
+//     canary machinery);
+//   - transient faults are absorbed by retry/backoff, not turned into
+//     spurious rollbacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faultinject/faultinject.h"
+
+namespace sedspec::control {
+
+struct ControlCampaignConfig {
+  uint64_t seed = 0x5edc;
+  std::string device = "fdc";
+  size_t shards = 4;
+  /// Faults per family; the defaults sum past the 1000-fault bar.
+  size_t corruption_faults = 400;  // candidate / fetch-outage / record
+  size_t crash_faults = 300;       // shard crashes + mid-promotion crashes
+  size_t delay_faults = 300;       // metric delays + transient fetch
+  /// Benign operations per shard per observation window.
+  uint64_t observe_ops = 12;
+  uint64_t spec_poll_ops = 8;
+};
+
+/// How one injected fault resolved. Every value except kEscaped is an
+/// acceptable, *accounted* ending; kEscaped must stay 0.
+enum class ControlOutcome : uint8_t {
+  kRejectedAtStaging = 0,  // corrupt candidate refused before any shard
+  kRolledBack = 1,         // guardrails aborted; baseline still enforcing
+  kRecovered = 2,          // crash recovery repaired/rejected the record
+  kPromotedClean = 3,      // transient fault absorbed; good candidate won
+  kPromotedEquivalent = 4, // garbled-yet-valid candidate proved equivalent
+  kEscaped = 5,            // anything off-script — must be 0
+};
+inline constexpr size_t kControlOutcomeCount = 6;
+
+[[nodiscard]] std::string control_outcome_name(ControlOutcome o);
+
+struct ControlCampaignResult {
+  uint64_t injected = 0;
+  uint64_t by_kind[faultinject::kControlFaultKinds] = {};
+  uint64_t by_outcome[kControlOutcomeCount] = {};
+  /// Staging rejections indexed by spec::LoadStatus.
+  uint64_t staging_rejections_by_status[8] = {};
+  /// Hard invariants — all must stay 0 (see clean()).
+  uint64_t shadow_blocks = 0;        // a shadow candidate blocked an access
+  uint64_t stuck_rollouts = 0;       // rollout ended non-terminal
+  uint64_t liveness_failures = 0;    // untrained-access probe not blocked
+  uint64_t baseline_divergence = 0;  // wrong spec active after rollback
+
+  [[nodiscard]] uint64_t escaped() const {
+    return by_outcome[static_cast<size_t>(ControlOutcome::kEscaped)];
+  }
+  /// The campaign acceptance bar.
+  [[nodiscard]] bool clean() const {
+    return escaped() == 0 && shadow_blocks == 0 && stuck_rollouts == 0 &&
+           liveness_failures == 0 && baseline_divergence == 0;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] ControlCampaignResult run_control_campaign(
+    const ControlCampaignConfig& config = {});
+
+}  // namespace sedspec::control

@@ -1,0 +1,122 @@
+#include "control/policy.h"
+
+namespace sedspec::control {
+
+void PolicyBits::tighten(const PolicyBits& other) {
+  enforce |= other.enforce;
+  force_protection |= other.force_protection;
+  force_fail_closed |= other.force_fail_closed;
+  require_parameter |= other.require_parameter;
+  require_indirect |= other.require_indirect;
+  require_conditional |= other.require_conditional;
+  forbid_monitor_only |= other.forbid_monitor_only;
+}
+
+bool PolicyBits::covers(const PolicyBits& other) const {
+  PolicyBits merged = *this;
+  merged.tighten(other);
+  return merged == *this;
+}
+
+bool PolicyBits::any() const {
+  return enforce || force_protection || force_fail_closed ||
+         require_parameter || require_indirect || require_conditional ||
+         forbid_monitor_only;
+}
+
+void Policy::tighten(const Policy& other) {
+  fleet.tighten(other.fleet);
+  for (const auto& [device, bits] : other.per_device) {
+    per_device[device].tighten(bits);
+  }
+}
+
+PolicyBits Policy::effective(const std::string& device) const {
+  PolicyBits bits = fleet;
+  auto it = per_device.find(device);
+  if (it != per_device.end()) {
+    bits.tighten(it->second);
+  }
+  return bits;
+}
+
+checker::CheckerConfig apply_policy(const PolicyBits& bits,
+                                    checker::CheckerConfig base) {
+  if (bits.force_protection) {
+    base.mode = checker::Mode::kProtection;
+  }
+  if (bits.force_fail_closed) {
+    base.failure_policy = checker::FailurePolicy::kFailClosed;
+  }
+  base.enable_parameter |= bits.require_parameter;
+  base.enable_indirect |= bits.require_indirect;
+  base.enable_conditional |= bits.require_conditional;
+  if (bits.forbid_monitor_only) {
+    base.monitor_only = false;
+  }
+  return base;
+}
+
+bool is_tightening_of(const checker::CheckerConfig& tightened,
+                      const checker::CheckerConfig& base) {
+  // Protection > Enhancement; fail-closed > fail-open; enabled > disabled;
+  // blocking > monitor-only. Everything else (budgets, labels) is not
+  // policy-governed and may differ freely.
+  if (base.mode == checker::Mode::kProtection &&
+      tightened.mode != checker::Mode::kProtection) {
+    return false;
+  }
+  if (base.failure_policy == checker::FailurePolicy::kFailClosed &&
+      tightened.failure_policy != checker::FailurePolicy::kFailClosed) {
+    return false;
+  }
+  if ((base.enable_parameter && !tightened.enable_parameter) ||
+      (base.enable_indirect && !tightened.enable_indirect) ||
+      (base.enable_conditional && !tightened.enable_conditional)) {
+    return false;
+  }
+  if (!base.monitor_only && tightened.monitor_only) {
+    return false;
+  }
+  return true;
+}
+
+void PolicyTree::tighten_tenant(const Policy& p) {
+  std::lock_guard lock(mu_);
+  tenant_.tighten(p);
+  ++version_;
+}
+
+void PolicyTree::tighten_vm(const std::string& vm, const Policy& p) {
+  std::lock_guard lock(mu_);
+  vms_[vm].tighten(p);
+  ++version_;
+}
+
+PolicyBits PolicyTree::effective(const std::string& vm,
+                                 const std::string& device) const {
+  std::lock_guard lock(mu_);
+  PolicyBits bits = tenant_.effective(device);
+  auto it = vms_.find(vm);
+  if (it != vms_.end()) {
+    bits.tighten(it->second.effective(device));
+  }
+  return bits;
+}
+
+uint64_t PolicyTree::version() const {
+  std::lock_guard lock(mu_);
+  return version_;
+}
+
+std::vector<std::string> PolicyTree::vm_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(vms_.size());
+  for (const auto& [name, policy] : vms_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace sedspec::control

@@ -1,0 +1,112 @@
+// Tighten-only enforcement policy (fleet control plane).
+//
+// A fleet operator needs "new CVE just dropped, enforce the parameter check
+// on every fdc NOW" to be one write that no tenant- or VM-level setting can
+// undo. The model follows the DEXCR aspect discipline (admin-enforced bits
+// OR'd over per-process settings): every policy field is a *requirement*
+// bit whose unset state means "no constraint from this layer", and layers
+// compose by OR — tenant → VM → device, each lower layer can only ADD
+// enforcement, never remove what an upper layer demanded.
+//
+// Application is equally monotone: apply_policy() maps effective bits onto
+// a checker::CheckerConfig and can only move the config toward stronger
+// enforcement (protection mode, fail-closed, more strategies enabled,
+// monitor-only stripped). is_tightening_of() is the checkable algebraic
+// contract the tests (and the rollout engine's invariant sweep) rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+
+namespace sedspec::control {
+
+/// One layer's requirement bits. Default-constructed = "no constraints".
+struct PolicyBits {
+  /// Per-device enable mask bit: enforcement is mandatory — a shard asking
+  /// to run unprotected (ShardSpec::unprotected) still gets a checker.
+  bool enforce = false;
+  /// Force Mode::kProtection (violations block + halt, not just warn).
+  bool force_protection = false;
+  /// Force FailurePolicy::kFailClosed for contained internal faults.
+  bool force_fail_closed = false;
+  /// Force-enable individual check strategies.
+  bool require_parameter = false;
+  bool require_indirect = false;
+  bool require_conditional = false;
+  /// Strip monitor_only: verdicts must actually block.
+  bool forbid_monitor_only = false;
+
+  /// OR-composition: after this call every requirement `other` makes is
+  /// also made here. Commutative, associative, idempotent.
+  void tighten(const PolicyBits& other);
+
+  /// True when this layer demands everything `other` demands (bitwise >=).
+  [[nodiscard]] bool covers(const PolicyBits& other) const;
+
+  [[nodiscard]] bool any() const;
+  friend bool operator==(const PolicyBits&, const PolicyBits&) = default;
+};
+
+/// One scope's policy: fleet-wide bits plus per-device-type overlays.
+/// effective(device) = fleet | per_device[device] — a device overlay can
+/// only add to what the scope already demands for every device.
+struct Policy {
+  PolicyBits fleet;
+  std::map<std::string, PolicyBits> per_device;
+
+  void tighten(const Policy& other);
+  [[nodiscard]] PolicyBits effective(const std::string& device) const;
+};
+
+/// Applies effective requirement bits to a checker config. Monotone: the
+/// result is always a tightening of `base` (never weaker), and applying the
+/// same bits twice is a no-op.
+[[nodiscard]] checker::CheckerConfig apply_policy(
+    const PolicyBits& bits, checker::CheckerConfig base);
+
+/// True when `tightened` enforces at least as strongly as `base` on every
+/// axis the policy model governs. The algebraic contract of apply_policy.
+[[nodiscard]] bool is_tightening_of(const checker::CheckerConfig& tightened,
+                                    const checker::CheckerConfig& base);
+
+/// The live, concurrently-readable policy hierarchy: one tenant (fleet)
+/// layer plus per-VM overlays, inherited tenant → VM → device. Writers
+/// (the control plane) tighten layers; readers (shard threads, at checker
+/// deploy/redeploy time) snapshot effective bits. Every successful tighten
+/// bumps version() so shards can poll for "a policy write happened" the
+/// same way they poll the SpecStore — a fleet-wide policy change is one
+/// write here, picked up by every shard at its next poll.
+class PolicyTree {
+ public:
+  PolicyTree() = default;
+  PolicyTree(const PolicyTree&) = delete;
+  PolicyTree& operator=(const PolicyTree&) = delete;
+
+  /// Tightens the tenant (fleet-wide) layer. One write reaches every VM.
+  void tighten_tenant(const Policy& p);
+  /// Tightens one VM's overlay (created on first use).
+  void tighten_vm(const std::string& vm, const Policy& p);
+
+  /// Effective bits for a device on a VM: tenant | vm overlay, each
+  /// resolved through its per-device overlay. Unknown VM = tenant only.
+  [[nodiscard]] PolicyBits effective(const std::string& vm,
+                                     const std::string& device) const;
+
+  /// Monotonic write counter (0 = never written). Cheap to poll.
+  [[nodiscard]] uint64_t version() const;
+
+  [[nodiscard]] std::vector<std::string> vm_names() const;
+
+ private:
+  mutable std::mutex mu_;
+  Policy tenant_;
+  std::map<std::string, Policy> vms_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace sedspec::control

@@ -1,0 +1,245 @@
+#include "control/rollout.h"
+
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace sedspec::control {
+
+namespace {
+
+constexpr uint32_t kRolloutMagic = 0x4f4c5253u;  // "SRLO"
+constexpr size_t kEnvelope = spec::kSpecEnvelopeSize;
+
+void put_u32_at(std::vector<uint8_t>& bytes, size_t pos, uint32_t v) {
+  bytes[pos + 0] = static_cast<uint8_t>(v);
+  bytes[pos + 1] = static_cast<uint8_t>(v >> 8);
+  bytes[pos + 2] = static_cast<uint8_t>(v >> 16);
+  bytes[pos + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t get_u32_at(std::span<const uint8_t> bytes, size_t pos) {
+  return static_cast<uint32_t>(bytes[pos]) |
+         static_cast<uint32_t>(bytes[pos + 1]) << 8 |
+         static_cast<uint32_t>(bytes[pos + 2]) << 16 |
+         static_cast<uint32_t>(bytes[pos + 3]) << 24;
+}
+
+spec::LoadError fail(spec::LoadStatus status, std::string detail) {
+  spec::LoadError e;
+  e.status = status;
+  e.detail = std::move(detail);
+  return e;
+}
+
+}  // namespace
+
+std::string rollout_state_name(RolloutState s) {
+  switch (s) {
+    case RolloutState::kStaging:
+      return "Staging";
+    case RolloutState::kShadow:
+      return "Shadow";
+    case RolloutState::kPromoting:
+      return "Promoting";
+    case RolloutState::kActive:
+      return "Active";
+    case RolloutState::kRolledBack:
+      return "RolledBack";
+  }
+  return "?";
+}
+
+StageDecision evaluate_stage(const RolloutThresholds& t,
+                             const StageObservation& o) {
+  StageDecision d;
+  auto rollback = [&d](std::string reason) {
+    d.verdict = StageVerdict::kRollback;
+    d.reason = std::move(reason);
+    return d;
+  };
+
+  // Hard safety invariant first: a shadow candidate that blocked anything
+  // is a broken shadow harness, not a bad spec — never promote, never
+  // retry.
+  if (o.candidate_blocked > 0) {
+    return rollback("shadow candidate blocked " +
+                    std::to_string(o.candidate_blocked) +
+                    " accesses (shadow-mode invariant violated)");
+  }
+  // Failure-domain feed: shard crashes and quarantine spikes roll back
+  // regardless of what the candidate metrics look like — the window is
+  // evidence the rollout destabilized enforcement.
+  if (o.shard_failures > t.max_shard_failures) {
+    return rollback(std::to_string(o.shard_failures) +
+                    " shard crash(es) inside the observation window");
+  }
+  if (o.quarantines > t.max_quarantines) {
+    return rollback("quarantine spike: " + std::to_string(o.quarantines) +
+                    " fail-closed containments in the window");
+  }
+  if (o.report_drops > t.max_report_drops) {
+    return rollback("report loss: " + std::to_string(o.report_drops) +
+                    " reports dropped (monitoring blinded)");
+  }
+  // Delayed / incomplete metric feed: not enough shadow evidence to judge
+  // the candidate. Inconclusive — retry the window, never promote blind.
+  if (o.shadow_rounds < t.min_shadow_rounds) {
+    d.verdict = StageVerdict::kRetry;
+    std::ostringstream r;
+    r << "observation incomplete: " << o.shadow_rounds << "/"
+      << t.min_shadow_rounds << " shadow rounds (metric feed delayed?)";
+    d.reason = r.str();
+    return d;
+  }
+
+  const double rounds = static_cast<double>(o.shadow_rounds);
+  const double would_block_rate = static_cast<double>(o.would_block) / rounds;
+  if (would_block_rate > t.max_would_block_rate) {
+    std::ostringstream r;
+    r << "would-be false positives: " << o.would_block << "/"
+      << o.shadow_rounds << " shadow rounds (rate " << would_block_rate
+      << " > " << t.max_would_block_rate << ")";
+    return rollback(r.str());
+  }
+  const uint64_t surplus = o.candidate_violations > o.active_violations
+                               ? o.candidate_violations - o.active_violations
+                               : 0;
+  if (static_cast<double>(surplus) / rounds > t.max_violation_delta_rate) {
+    std::ostringstream r;
+    r << "candidate violation surplus: +" << surplus << " over "
+      << o.shadow_rounds << " rounds";
+    return rollback(r.str());
+  }
+  if (t.max_latency_ratio > 0) {
+    // Mean per-round check cost (always cheap to derive) and the per-stage
+    // histogram p99s when latency sampling was on. Either signal tripping
+    // rolls back; both are skipped when the denominator is 0 (sampling
+    // off).
+    if (o.active_check_ns > 0 && o.active_rounds > 0 && o.shadow_rounds > 0) {
+      const double active_mean = static_cast<double>(o.active_check_ns) /
+                                 static_cast<double>(o.active_rounds);
+      const double cand_mean = static_cast<double>(o.candidate_check_ns) /
+                               static_cast<double>(o.shadow_rounds);
+      if (active_mean > 0 && cand_mean / active_mean > t.max_latency_ratio) {
+        std::ostringstream r;
+        r << "candidate check latency " << cand_mean << " ns/round vs active "
+          << active_mean << " (ratio cap " << t.max_latency_ratio << ")";
+        return rollback(r.str());
+      }
+    }
+    if (o.active_latency_p99_ns > 0 &&
+        static_cast<double>(o.candidate_latency_p99_ns) /
+                static_cast<double>(o.active_latency_p99_ns) >
+            t.max_latency_ratio) {
+      std::ostringstream r;
+      r << "candidate p99 " << o.candidate_latency_p99_ns << " ns vs active "
+        << o.active_latency_p99_ns << " (ratio cap " << t.max_latency_ratio
+        << ")";
+      return rollback(r.str());
+    }
+  }
+
+  d.verdict = StageVerdict::kPromote;
+  d.reason = "window clean";
+  return d;
+}
+
+std::vector<uint8_t> RolloutRecord::serialize() const {
+  sedspec::ByteWriter w;
+  w.u32(kRolloutMagic);
+  w.u32(kRolloutFormatVersion);
+  w.u32(0);  // payload length, patched below
+  w.u32(0);  // payload crc32, patched below
+  w.str(device);
+  w.u64(candidate_version);
+  w.u64(baseline_version);
+  w.u8(static_cast<uint8_t>(state));
+  w.u32(stage_index);
+  w.str(reason);
+  w.varbytes(baseline_spec);
+  std::vector<uint8_t> bytes = w.take();
+  const std::span<const uint8_t> payload{bytes.data() + kEnvelope,
+                                         bytes.size() - kEnvelope};
+  put_u32_at(bytes, 8, static_cast<uint32_t>(payload.size()));
+  put_u32_at(bytes, 12, crc32(payload));
+  return bytes;
+}
+
+spec::LoadError RolloutRecord::load(std::span<const uint8_t> bytes,
+                                    RolloutRecord& out) {
+  if (bytes.size() < kEnvelope) {
+    return fail(spec::LoadStatus::kTooShort,
+                "rollout record holds " + std::to_string(bytes.size()) +
+                    " bytes, envelope needs " + std::to_string(kEnvelope));
+  }
+  if (get_u32_at(bytes, 0) != kRolloutMagic) {
+    return fail(spec::LoadStatus::kBadMagic, "not a rollout record");
+  }
+  const uint32_t version = get_u32_at(bytes, 4);
+  if (version != kRolloutFormatVersion) {
+    return fail(spec::LoadStatus::kVersionSkew,
+                "rollout record format v" + std::to_string(version) +
+                    ", loader is v" + std::to_string(kRolloutFormatVersion));
+  }
+  const std::span<const uint8_t> payload = bytes.subspan(kEnvelope);
+  if (get_u32_at(bytes, 8) != payload.size()) {
+    return fail(spec::LoadStatus::kLengthMismatch,
+                "envelope claims " + std::to_string(get_u32_at(bytes, 8)) +
+                    " payload bytes, " + std::to_string(payload.size()) +
+                    " present");
+  }
+  if (get_u32_at(bytes, 12) != crc32(payload)) {
+    return fail(spec::LoadStatus::kCrcMismatch,
+                "rollout record integrity check failed");
+  }
+
+  RolloutRecord rec;
+  try {
+    sedspec::ByteReader r(payload);
+    rec.device = r.str();
+    rec.candidate_version = r.u64();
+    rec.baseline_version = r.u64();
+    const uint8_t state = r.u8();
+    if (state >= kRolloutStateCount) {
+      return fail(spec::LoadStatus::kMalformed,
+                  "rollout state tag " + std::to_string(state) +
+                      " out of range");
+    }
+    rec.state = static_cast<RolloutState>(state);
+    rec.stage_index = r.u32();
+    rec.reason = r.str();
+    rec.baseline_spec = r.varbytes();
+    if (r.remaining() != 0) {
+      return fail(spec::LoadStatus::kMalformed,
+                  std::to_string(r.remaining()) +
+                      " trailing bytes after the rollout record");
+    }
+  } catch (const sedspec::DecodeError& e) {
+    return fail(spec::LoadStatus::kMalformed, e.what());
+  }
+
+  // The nested baseline spec is the recovery artifact — if IT is corrupt,
+  // the record is useless for safe resume and must be rejected whole.
+  if (!rec.baseline_spec.empty()) {
+    spec::LoadResult nested = spec::load(rec.baseline_spec);
+    if (!nested.ok()) {
+      spec::LoadError e = nested.error;
+      e.detail = "nested baseline spec: " + e.detail;
+      return e;
+    }
+    if (nested.cfg->device_name != rec.device) {
+      return fail(spec::LoadStatus::kDeviceMismatch,
+                  "rollout record for '" + rec.device +
+                      "' carries a baseline spec for '" +
+                      nested.cfg->device_name + "'");
+    }
+  }
+
+  out = std::move(rec);
+  spec::LoadError ok;
+  return ok;
+}
+
+}  // namespace sedspec::control

@@ -19,6 +19,28 @@ std::string layer_name(Layer layer) {
       return "dma";
     case Layer::kChecker:
       return "checker";
+    case Layer::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+std::string control_fault_name(ControlFaultKind kind) {
+  switch (kind) {
+    case ControlFaultKind::kCorruptCandidate:
+      return "corrupt-candidate";
+    case ControlFaultKind::kFetchOutage:
+      return "fetch-outage";
+    case ControlFaultKind::kFetchTransient:
+      return "fetch-transient";
+    case ControlFaultKind::kShardCrash:
+      return "shard-crash";
+    case ControlFaultKind::kMetricDelay:
+      return "metric-delay";
+    case ControlFaultKind::kRecordCorrupt:
+      return "record-corrupt";
+    case ControlFaultKind::kCrashPromoting:
+      return "crash-promoting";
   }
   return "?";
 }

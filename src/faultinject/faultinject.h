@@ -35,8 +35,14 @@
 
 namespace sedspec::faultinject {
 
-enum class Layer : uint8_t { kSpec = 0, kTrace = 1, kDma = 2, kChecker = 3 };
-inline constexpr size_t kLayerCount = 4;
+enum class Layer : uint8_t {
+  kSpec = 0,
+  kTrace = 1,
+  kDma = 2,
+  kChecker = 3,
+  kControl = 4,  // control-plane rollout machinery (control/campaign.h)
+};
+inline constexpr size_t kLayerCount = 5;
 
 [[nodiscard]] std::string layer_name(Layer layer);
 
@@ -98,5 +104,28 @@ inline constexpr size_t kCheckerFaultKinds = 3;
 void arm_checker_faults(checker::EsChecker& checker, CheckerFaultKind kind,
                         size_t count, uint64_t seed);
 void disarm_checker_faults(checker::EsChecker& checker);
+
+// Layer kControl ------------------------------------------------------------
+//
+// Faults against the rollout control plane (control/control_plane.h). These
+// are injected through the plane's dedicated seams — candidate staging,
+// the spec-distribution fetcher, shard op hooks, the observation filter,
+// and the persisted-record journal — by control::run_control_campaign
+// (control/campaign.h), which owns the end-to-end accounting.
+
+enum class ControlFaultKind : uint8_t {
+  kCorruptCandidate = 0,  // corrupt the serialized candidate before staging
+  kFetchOutage = 1,       // spec-distribution channel hard-down (LoadError
+                          // on every fetch; retries must exhaust safely)
+  kFetchTransient = 2,    // a few fetch failures, then healthy (bounded
+                          // retry/backoff must absorb without a rollback)
+  kShardCrash = 3,        // canary shard thread dies mid-window
+  kMetricDelay = 4,       // observation feed delayed/blinded for N windows
+  kRecordCorrupt = 5,     // persisted rollout record damaged, then resumed
+  kCrashPromoting = 6,    // control plane killed mid-Promoting, then resumed
+};
+inline constexpr size_t kControlFaultKinds = 7;
+
+[[nodiscard]] std::string control_fault_name(ControlFaultKind kind);
 
 }  // namespace sedspec::faultinject

@@ -1,5 +1,6 @@
 #include "sedspec/enforcement.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -51,6 +52,66 @@ EnforcementService::EnforcementService(spec::SpecStore* store,
   SEDSPEC_REQUIRE(store != nullptr);
 }
 
+namespace {
+
+/// Shadow-mode composite proxy: the candidate checker evaluates every
+/// access the active checker does, but only the active verdict gates the
+/// bus. Candidate-first ordering plus the candidate's forced monitor-only
+/// config means a candidate finding can never turn into a block — the
+/// rollout engine's core safety property.
+class ShadowPair final : public IoProxy {
+ public:
+  ShadowPair(checker::EsChecker* active, checker::EsChecker* candidate)
+      : active_(active), candidate_(candidate) {}
+
+  bool before_access(Device& device, const IoAccess& io) override {
+    candidate_->before_access(device, io);
+    const bool allow = active_->before_access(device, io);
+    if (!candidate_->last_result().clean() &&
+        active_->last_result().clean()) {
+      // The candidate flagged a round the active spec passed: the
+      // would-be-false-positive signature (an over-tight candidate would
+      // break benign I/O if promoted).
+      ++would_block_;
+    }
+    if (!allow) {
+      // The active checker vetoed (or quarantined) — its recovery path may
+      // have reset the device, so resynchronize the candidate's shadow to
+      // keep the two simulations coherent.
+      candidate_->resync();
+    }
+    return allow;
+  }
+
+  void after_access(Device& device, const IoAccess& io) override {
+    active_->after_access(device, io);
+    candidate_->after_access(device, io);
+  }
+
+  [[nodiscard]] uint64_t would_block() const { return would_block_; }
+
+ private:
+  checker::EsChecker* active_;
+  checker::EsChecker* candidate_;
+  uint64_t would_block_ = 0;
+};
+
+/// Shadow candidates observe, never enforce: monitor-only (no block/halt),
+/// fail-open (an internal candidate fault must not quarantine-reset the
+/// device the ACTIVE checker is protecting), no rollback checkpointing.
+checker::CheckerConfig shadow_config(checker::CheckerConfig base) {
+  base.monitor_only = true;
+  base.mode = checker::Mode::kEnhancement;
+  base.failure_policy = checker::FailurePolicy::kFailOpen;
+  base.rollback_on_violation = false;
+  if (!base.metrics_label.empty()) {
+    base.metrics_label += "~cand";
+  }
+  return base;
+}
+
+}  // namespace
+
 void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
                                    checker::ReportQueue& queue,
                                    ShardResult& result) {
@@ -63,49 +124,214 @@ void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
     bus.bind_owner_thread();
   }
 
-  spec::SnapshotRef snap = store_->current(spec.device);
-  SEDSPEC_REQUIRE_MSG(snap != nullptr,
-                      "no spec published for this shard's device type");
+  const std::string vm =
+      spec.vm.empty() ? "vm" + std::to_string(shard_id) : spec.vm;
+  Rng rng(spec.seed);
+  Rng backoff_rng = rng.fork();  // independent jitter stream
+  obs::Counter* retry_counter = &obs::metrics().counter(
+      "redeploy_retries_total",
+      obs::label({{"shard", std::to_string(shard_id)}}));
 
-  checker::CheckerConfig ccfg = spec.checker;
-  if (ccfg.metrics_label.empty()) {
-    ccfg.metrics_label = spec.device + "#" + std::to_string(shard_id);
+  const control::PolicyTree* pt = config_.policy;
+  uint64_t policy_version = pt == nullptr ? 0 : pt->version();
+  auto policy_bits = [&]() {
+    return pt == nullptr ? control::PolicyBits{}
+                         : pt->effective(vm, spec.device);
+  };
+  // Enforcement is on unless the shard opted out AND no policy layer
+  // overrides the opt-out (tighten-only: the fleet can force it back on,
+  // nothing can force it off).
+  auto should_protect = [&]() {
+    return !spec.unprotected || policy_bits().enforce;
+  };
+
+  // Spec distribution with bounded retry: transient fetch failures back
+  // off exponentially with jitter; exhaustion leaves the shard on its
+  // pinned last-known-good snapshot.
+  auto fetch_with_retry = [&](bool count_failure) -> spec::SnapshotRef {
+    for (uint32_t attempt = 0;; ++attempt) {
+      spec::SnapshotRef out;
+      spec::LoadError err;
+      if (config_.spec_fetch) {
+        err = config_.spec_fetch(spec.device, out);
+      } else {
+        out = store_->current(spec.device);
+      }
+      if (err.ok()) {
+        return out;
+      }
+      if (attempt >= config_.redeploy_max_retries) {
+        if (count_failure) {
+          ++result.redeploy_failures;
+          log_warn("enforce")
+              << spec.device << "#" << shard_id
+              << ": spec fetch failed after " << attempt
+              << " retries, staying on last-known-good (" << err.describe()
+              << ")";
+        }
+        return nullptr;
+      }
+      ++result.stats.redeploy_retries;
+      retry_counter->inc();
+      const uint64_t cap = std::max<uint64_t>(
+          1, std::min(config_.redeploy_backoff_base_us << attempt,
+                      config_.redeploy_backoff_max_us));
+      const uint64_t jittered = cap / 2 + backoff_rng.below(cap / 2 + 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(jittered));
+    }
+  };
+
+  // The live deployment: active checker, optional shadow candidate, and
+  // the proxy actually installed on the bus. Swapped as one unit between
+  // guest operations.
+  struct Deployment {
+    std::unique_ptr<checker::EsChecker> active;
+    std::unique_ptr<checker::EsChecker> candidate;
+    std::unique_ptr<ShadowPair> pair;
+  };
+  Deployment dep;
+
+  // Folds the outgoing deployment's counters into the result. Called
+  // before every swap and once at the end.
+  auto accumulate = [&] {
+    if (dep.active != nullptr) {
+      result.stats.merge(dep.active->stats());
+    }
+    if (dep.candidate != nullptr) {
+      result.shadow_stats.merge(dep.candidate->stats());
+      result.shadow_spec_version = dep.candidate->spec_version();
+    }
+    if (dep.pair != nullptr) {
+      result.shadow_would_block += dep.pair->would_block();
+    }
+  };
+
+  auto candidate_snapshot = [&]() -> spec::SnapshotRef {
+    if (!spec.shadow_candidate || config_.candidate_store == nullptr) {
+      return nullptr;
+    }
+    return config_.candidate_store->current(spec.device);
+  };
+
+  // (Re)deploys from the given snapshots: fresh checkers wired to the
+  // shared report queue, installed as this shard's bus proxy strictly
+  // between guest operations. Policy is applied at every deploy, so the
+  // effective config always reflects the latest policy write.
+  auto deploy = [&](spec::SnapshotRef active_snap,
+                    spec::SnapshotRef cand_snap) {
+    accumulate();
+    checker::CheckerConfig ccfg = spec.checker;
+    if (ccfg.metrics_label.empty()) {
+      ccfg.metrics_label = spec.device + "#" + std::to_string(shard_id);
+    }
+    if (pt != nullptr) {
+      ccfg = control::apply_policy(policy_bits(), ccfg);
+    }
+    Deployment next;
+    next.active = std::make_unique<checker::EsChecker>(
+        std::move(active_snap), &workload->device(), ccfg);
+    next.active->set_report_sink(&queue, shard_id);
+    if (cand_snap != nullptr) {
+      next.candidate = std::make_unique<checker::EsChecker>(
+          std::move(cand_snap), &workload->device(), shadow_config(ccfg));
+      next.pair = std::make_unique<ShadowPair>(next.active.get(),
+                                               next.candidate.get());
+      bus.set_proxy(next.pair.get());
+    } else {
+      bus.set_proxy(next.active.get());
+    }
+    checker::EsChecker* a = next.active.get();
+    checker::EsChecker* c = next.candidate.get();
+    workload->device().set_internal_activity_hook([a, c] {
+      a->resync();
+      if (c != nullptr) {
+        c->resync();
+      }
+    });
+    dep = std::move(next);
+  };
+
+  auto undeploy = [&] {
+    accumulate();
+    bus.set_proxy(nullptr);
+    workload->device().set_internal_activity_hook({});
+    dep = {};
+  };
+
+  bool protecting = should_protect();
+  if (protecting) {
+    spec::SnapshotRef snap = fetch_with_retry(false);
+    SEDSPEC_REQUIRE_MSG(snap != nullptr,
+                        "no spec published for this shard's device type");
+    deploy(std::move(snap), candidate_snapshot());
   }
 
-  // (Re)deploy: a fresh checker pinning `s`, wired to the shared report
-  // queue and installed as this shard's bus proxy. The previous checker —
-  // and with it the previous snapshot pin — is released by the caller's
-  // unique_ptr assignment, strictly between guest operations.
-  auto deploy_from = [&](spec::SnapshotRef s) {
-    auto ck = std::make_unique<checker::EsChecker>(std::move(s),
-                                                   &workload->device(), ccfg);
-    ck->set_report_sink(&queue, shard_id);
-    bus.set_proxy(ck.get());
-    checker::EsChecker* raw = ck.get();
-    workload->device().set_internal_activity_hook([raw] { raw->resync(); });
-    return ck;
-  };
-  std::unique_ptr<checker::EsChecker> ck = deploy_from(std::move(snap));
-
-  Rng rng(spec.seed);
   for (uint64_t i = 0; i < spec.ops; ++i) {
+    if (spec.op_hook) {
+      // Fault seam: a throwing hook models the shard crashing mid-window.
+      spec.op_hook(i);
+    }
     workload->common_operation(spec.mode, rng);
     ++result.ops;
-    if (config_.spec_poll_ops != 0 && (i + 1) % config_.spec_poll_ops == 0 &&
-        store_->version_of(spec.device) != ck->spec_version()) {
-      result.stats.merge(ck->stats());
-      ck = deploy_from(store_->current(spec.device));
+    if (config_.spec_poll_ops == 0 || (i + 1) % config_.spec_poll_ops != 0) {
+      continue;
+    }
+    // Policy poll: one tighten anywhere in the tree redeploys this shard
+    // with the newly-effective (never weaker) config.
+    if (pt != nullptr && pt->version() != policy_version) {
+      policy_version = pt->version();
+      const bool want = should_protect();
+      if (want && dep.active == nullptr) {
+        spec::SnapshotRef snap = fetch_with_retry(true);
+        if (snap != nullptr) {
+          deploy(std::move(snap), candidate_snapshot());
+          ++result.policy_redeploys;
+        }
+      } else if (dep.active != nullptr) {
+        deploy(dep.active->snapshot(),
+               dep.candidate == nullptr ? nullptr : dep.candidate->snapshot());
+        ++result.policy_redeploys;
+      }
+      protecting = dep.active != nullptr;
+    }
+    if (dep.active == nullptr) {
+      continue;
+    }
+    // Spec poll: on a version change fetch the new snapshot (with retry)
+    // and swap checkers between rounds.
+    const bool active_stale =
+        store_->version_of(spec.device) != dep.active->spec_version();
+    const spec::SnapshotRef cand = candidate_snapshot();
+    const bool cand_stale =
+        (cand == nullptr) != (dep.candidate == nullptr) ||
+        (cand != nullptr && dep.candidate != nullptr &&
+         cand->version != dep.candidate->spec_version());
+    if (!active_stale && !cand_stale) {
+      continue;
+    }
+    spec::SnapshotRef next_active =
+        active_stale ? fetch_with_retry(true) : dep.active->snapshot();
+    if (next_active == nullptr) {
+      continue;  // fetch exhausted: stay on last-known-good this round
+    }
+    const bool version_changed =
+        next_active->version != dep.active->spec_version();
+    deploy(std::move(next_active), cand);
+    if (version_changed) {
       ++result.redeploys;
       checker::Report r;
       r.kind = checker::Report::Kind::kRedeploy;
       r.shard = shard_id;
-      r.value = ck->spec_version();
+      r.value = dep.active->spec_version();
       queue.try_push(r);  // best-effort, counted by the queue either way
     }
   }
 
-  result.final_spec_version = ck->spec_version();
-  result.stats.merge(ck->stats());
+  result.ended_protected = dep.active != nullptr;
+  if (dep.active != nullptr) {
+    result.final_spec_version = dep.active->spec_version();
+  }
+  undeploy();
   result.bus_accesses = bus.access_count();
   result.bus_owner_violations = bus.owner_violations();
 }
@@ -151,8 +377,10 @@ RunReport EnforcementService::run(const std::vector<ShardSpec>& shards) {
 
   for (const ShardResult& s : report.shards) {
     report.fleet.merge(s.stats);
+    report.shadow_fleet.merge(s.shadow_stats);
     report.total_ops += s.ops;
     report.total_redeploys += s.redeploys;
+    report.total_shadow_would_block += s.shadow_would_block;
   }
   report.reports_pushed = queue.pushed();
   report.reports_dropped = queue.dropped();

@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "checker/checker.h"
 #include "checker/report_queue.h"
+#include "control/policy.h"
 #include "guest/workload.h"
 #include "spec/spec_store.h"
 #include "vdev/bus.h"
@@ -40,11 +42,27 @@ struct ShardSpec {
   uint64_t seed = 1;    // per-shard deterministic RNG seed
   guest::InteractionMode mode = guest::InteractionMode::kSequential;
   checker::CheckerConfig checker;  // metrics_label defaults to device#shard
+  /// VM identity for policy inheritance (tenant → VM → device). Empty
+  /// defaults to "vm<shard_id>".
+  std::string vm;
+  /// The VM owner opted out of enforcement. Honored ONLY while no policy
+  /// layer sets the `enforce` bit for this device — the tighten-only
+  /// model lets the fleet override this with one write.
+  bool unprotected = false;
+  /// Canary shard: additionally evaluate the candidate spec (from
+  /// ServiceConfig::candidate_store) in shadow mode — monitor-only, its
+  /// verdicts are recorded in ShardResult::shadow_* but never block.
+  bool shadow_candidate = false;
+  /// Fault-injection seam (control-plane campaign): called before every
+  /// guest operation with the operation index; throwing models a shard
+  /// crash mid-window (captured in ShardResult::error, never escapes).
+  std::function<void(uint64_t op)> op_hook;
 };
 
 struct ServiceConfig {
   size_t report_queue_capacity = 1024;
   /// Poll the store for a newer spec every N operations (0 = never).
+  /// Policy-version polling rides the same cadence.
   uint64_t spec_poll_ops = 64;
   /// Bind each shard's bus (and DMA engine) to its thread and count
   /// cross-thread accesses (tests assert the count stays zero).
@@ -53,6 +71,32 @@ struct ServiceConfig {
   /// scaling runs use kSleep so shards overlap their I/O waits.
   uint64_t bus_access_latency_ns = 0;
   IoBus::LatencyModel latency_model = IoBus::LatencyModel::kSpin;
+
+  /// Candidate-spec store for shadow-mode canaries (nullptr = no shadow).
+  /// Shards with shadow_candidate pin the candidate snapshot for their
+  /// device alongside the active one.
+  spec::SpecStore* candidate_store = nullptr;
+
+  /// Tighten-only policy hierarchy (nullptr = no policy layer). Effective
+  /// bits are applied to every checker config at deploy time and re-polled
+  /// with the spec version, so one policy write redeploys the fleet.
+  const control::PolicyTree* policy = nullptr;
+
+  /// Spec distribution seam: how a shard fetches the current snapshot for
+  /// a device. Default (unset) reads the store directly and cannot fail;
+  /// a control plane (or fault injector) models the distribution channel
+  /// here — transient LoadErrors are retried with bounded exponential
+  /// backoff + jitter, counted in CheckerStats::redeploy_retries and the
+  /// `redeploy_retries_total{shard}` obs counter. A fetch that still
+  /// fails after redeploy_max_retries leaves the shard on its pinned
+  /// last-known-good snapshot (ShardResult::redeploy_failures).
+  using SpecFetcher =
+      std::function<spec::LoadError(const std::string& device,
+                                    spec::SnapshotRef& out)>;
+  SpecFetcher spec_fetch;
+  uint32_t redeploy_max_retries = 4;
+  uint64_t redeploy_backoff_base_us = 50;
+  uint64_t redeploy_backoff_max_us = 2000;
 };
 
 struct ShardResult {
@@ -60,10 +104,21 @@ struct ShardResult {
   uint32_t shard = 0;
   uint64_t ops = 0;        // operations actually driven
   uint64_t redeploys = 0;  // checker swaps after a store version change
+  uint64_t redeploy_failures = 0;  // fetch retries exhausted; kept old spec
+  uint64_t policy_redeploys = 0;   // checker swaps after a policy write
   uint64_t final_spec_version = 0;
   uint64_t bus_accesses = 0;
   uint64_t bus_owner_violations = 0;
   checker::CheckerStats stats;  // accumulated across redeploy swaps
+  /// Shadow-mode candidate accounting (shadow_candidate shards only).
+  checker::CheckerStats shadow_stats;
+  uint64_t shadow_spec_version = 0;
+  /// Rounds where the candidate flagged what the active spec passed — the
+  /// would-be-false-positive signal the rollout engine watches.
+  uint64_t shadow_would_block = 0;
+  /// True when the shard finished with a checker attached (policy may
+  /// force this even for unprotected shards).
+  bool ended_protected = false;
   std::string error;            // non-empty: the shard thread failed
 
   [[nodiscard]] bool ok() const { return error.empty(); }
@@ -73,12 +128,15 @@ struct RunReport {
   std::vector<ShardResult> shards;
   /// Sum of every shard's accumulated CheckerStats.
   checker::CheckerStats fleet;
+  /// Sum of every canary shard's shadow-candidate CheckerStats.
+  checker::CheckerStats shadow_fleet;
   /// Everything the consumer drained from the report queue, in drain order.
   std::vector<checker::Report> reports;
   uint64_t reports_pushed = 0;
   uint64_t reports_dropped = 0;  // queue-full drops (checker + redeploy)
   uint64_t total_ops = 0;
   uint64_t total_redeploys = 0;
+  uint64_t total_shadow_would_block = 0;
 
   [[nodiscard]] bool ok() const {
     for (const ShardResult& s : shards) {

@@ -93,7 +93,7 @@ TEST(CheckerSet, CompromiseOfOneDeviceLeavesOthersRunning) {
 // exported field-by-field by publish_checker_stats(). If this assert fires
 // you added (or removed) a field — update merge(), publish_checker_stats(),
 // and the MergeSumsEveryField test below in the same change.
-static_assert(sizeof(checker::CheckerStats) == 18 * sizeof(uint64_t),
+static_assert(sizeof(checker::CheckerStats) == 19 * sizeof(uint64_t),
               "CheckerStats changed size: update merge()/"
               "publish_checker_stats()/MergeSumsEveryField");
 
@@ -117,6 +117,7 @@ TEST(CheckerStats, MergeSumsEveryField) {
   a.check_ns = 16;
   a.reports_emitted = 17;
   a.reports_dropped = 18;
+  a.redeploy_retries = 19;
 
   checker::CheckerStats b;
   b.rounds = 100;
@@ -137,6 +138,7 @@ TEST(CheckerStats, MergeSumsEveryField) {
   b.check_ns = 1600;
   b.reports_emitted = 1700;
   b.reports_dropped = 1800;
+  b.redeploy_retries = 1900;
 
   a.merge(b);
   EXPECT_EQ(a.rounds, 101u);
@@ -157,6 +159,7 @@ TEST(CheckerStats, MergeSumsEveryField) {
   EXPECT_EQ(a.check_ns, 1616u);
   EXPECT_EQ(a.reports_emitted, 1717u);
   EXPECT_EQ(a.reports_dropped, 1818u);
+  EXPECT_EQ(a.redeploy_retries, 1919u);
 }
 
 TEST(CheckerSet, PublishMetricsExportsPerCheckerAndFleetGauges) {

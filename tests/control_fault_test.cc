@@ -1,0 +1,95 @@
+// Control-plane fault campaign (control/campaign.h): the acceptance gate
+// for the fleet control plane. ControlPlaneFaultLane runs the full
+// 1000-fault sweep (also wired as the `control_plane_fault_lane` ctest
+// entry, which runs under SEDSPEC_SANITIZE builds); the smaller suite
+// checks per-family accounting cheaply.
+#include <gtest/gtest.h>
+
+#include "control/campaign.h"
+
+namespace sedspec {
+namespace {
+
+using control::ControlCampaignConfig;
+using control::ControlCampaignResult;
+using control::ControlOutcome;
+using control::run_control_campaign;
+
+uint64_t outcome_count(const ControlCampaignResult& r, ControlOutcome o) {
+  return r.by_outcome[static_cast<size_t>(o)];
+}
+
+TEST(ControlCampaign, SmallSweepAccountsEveryFault) {
+  ControlCampaignConfig cfg;
+  cfg.seed = 0xc0de;
+  cfg.corruption_faults = 24;
+  cfg.crash_faults = 18;
+  cfg.delay_faults = 18;
+  const ControlCampaignResult r = run_control_campaign(cfg);
+
+  EXPECT_EQ(r.injected, 60u);
+  EXPECT_TRUE(r.clean()) << r.describe();
+
+  // Every fault kind was exercised and every fault landed in an outcome.
+  uint64_t kinds = 0;
+  for (const uint64_t n : r.by_kind) {
+    EXPECT_GT(n, 0u);
+    kinds += n;
+  }
+  uint64_t outcomes = 0;
+  for (const uint64_t n : r.by_outcome) {
+    outcomes += n;
+  }
+  EXPECT_EQ(kinds, r.injected);
+  EXPECT_EQ(outcomes, r.injected);
+
+  // Family expectations: corruption is mostly refused at staging, hard
+  // faults roll back, transients promote, recovery recovers.
+  EXPECT_GT(outcome_count(r, ControlOutcome::kRejectedAtStaging), 0u);
+  EXPECT_GT(outcome_count(r, ControlOutcome::kRolledBack), 0u);
+  EXPECT_GT(outcome_count(r, ControlOutcome::kRecovered), 0u);
+  EXPECT_GT(outcome_count(r, ControlOutcome::kPromotedClean), 0u);
+}
+
+TEST(ControlCampaign, DeterministicPerSeed) {
+  ControlCampaignConfig cfg;
+  cfg.seed = 0xfeed;
+  cfg.corruption_faults = 12;
+  cfg.crash_faults = 6;
+  cfg.delay_faults = 6;
+  const auto a = run_control_campaign(cfg);
+  const auto b = run_control_campaign(cfg);
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+// The PR acceptance bar: >= 1000 injected faults across the corruption /
+// crash / delay families; every bad rollout ends RolledBack with the
+// prior spec still enforcing (byte-compared AND probed live); zero
+// fail-open escapes; zero stuck rollouts; shadow candidates never block.
+TEST(ControlPlaneFaultLane, ThousandFaultsZeroEscapes) {
+  const ControlCampaignResult r = run_control_campaign({});
+
+  EXPECT_GE(r.injected, 1000u);
+  EXPECT_EQ(r.escaped(), 0u) << r.describe();
+  EXPECT_EQ(r.shadow_blocks, 0u) << r.describe();
+  EXPECT_EQ(r.stuck_rollouts, 0u) << r.describe();
+  EXPECT_EQ(r.liveness_failures, 0u) << r.describe();
+  EXPECT_EQ(r.baseline_divergence, 0u) << r.describe();
+  EXPECT_TRUE(r.clean());
+
+  // The sweep covered all three fault families meaningfully.
+  using faultinject::ControlFaultKind;
+  auto kind_count = [&](ControlFaultKind k) {
+    return r.by_kind[static_cast<size_t>(k)];
+  };
+  EXPECT_GT(kind_count(ControlFaultKind::kCorruptCandidate), 100u);
+  EXPECT_GT(kind_count(ControlFaultKind::kFetchOutage), 50u);
+  EXPECT_GT(kind_count(ControlFaultKind::kRecordCorrupt), 50u);
+  EXPECT_GT(kind_count(ControlFaultKind::kShardCrash), 100u);
+  EXPECT_GT(kind_count(ControlFaultKind::kCrashPromoting), 50u);
+  EXPECT_GT(kind_count(ControlFaultKind::kMetricDelay), 100u);
+  EXPECT_GT(kind_count(ControlFaultKind::kFetchTransient), 50u);
+}
+
+}  // namespace
+}  // namespace sedspec
