@@ -69,7 +69,28 @@ def load_metrics(path: Path):
     gate = doc.get("gate", {})
     if not isinstance(gate, dict):
         raise ValueError(f"{path}: 'gate' must be an object")
-    return metrics, gate
+    series = doc.get("series", {})
+    if not isinstance(series, dict):
+        raise ValueError(f"{path}: 'series' must be an object")
+    series_gate = doc.get("series_gate", {})
+    if not isinstance(series_gate, dict):
+        raise ValueError(f"{path}: 'series_gate' must be an object")
+    return metrics, gate, series, series_gate
+
+
+def series_stats(values):
+    """Envelope statistics for one per-window series.
+
+    Window counts are machine-dependent (the collector ticks wall time),
+    so series are compared by envelope — max and median — never pointwise.
+    """
+    if not values:
+        return {}
+    ordered = sorted(float(v) for v in values)
+    return {
+        "max": ordered[-1],
+        "median": ordered[len(ordered) // 2],
+    }
 
 
 def check_metric(name, base, cur, direction, tolerance, failures, rows):
@@ -99,12 +120,12 @@ def check_metric(name, base, cur, direction, tolerance, failures, rows):
 def gate_bench(baseline_path: Path, current_dir: Path, tolerance: float):
     failures = []
     rows = []
-    base_metrics, gate = load_metrics(baseline_path)
+    base_metrics, gate, base_series, series_gate = load_metrics(baseline_path)
     current_path = current_dir / baseline_path.name
     if not current_path.is_file():
         return [f"{baseline_path.name}: no fresh sidecar in {current_dir} "
                 "(bench not run or stopped emitting it)"], rows
-    cur_metrics, _ = load_metrics(current_path)
+    cur_metrics, _, cur_series, _ = load_metrics(current_path)
 
     for name in sorted(base_metrics):
         if name not in cur_metrics:
@@ -120,6 +141,34 @@ def gate_bench(baseline_path: Path, current_dir: Path, tolerance: float):
                      float(cur_metrics[name]), direction,
                      float(overrides.get("tolerance", tolerance)),
                      failures, rows)
+
+    # Per-window series: gate the envelope (max, median) of each baseline
+    # series against the fresh run's envelope. A series the bench stopped
+    # emitting is a failure for the same reason a vanished metric is.
+    for name in sorted(base_series):
+        if name not in cur_series:
+            failures.append(f"series {name}: present in baseline, missing "
+                            f"from {current_path.name}")
+            continue
+        base_stats = series_stats(base_series[name])
+        cur_stats = series_stats(cur_series[name])
+        if not base_stats:
+            continue  # empty baseline series gates nothing
+        if not cur_stats:
+            failures.append(f"series {name}: baseline has "
+                            f"{len(base_series[name])} windows, current is "
+                            "empty")
+            continue
+        overrides = series_gate.get(name, {})
+        direction = overrides.get("direction", infer_direction(name))
+        if direction not in ("lower", "higher", "exact", "skip"):
+            raise ValueError(f"{baseline_path}: bad direction {direction!r} "
+                             f"for series {name}")
+        for stat in ("max", "median"):
+            check_metric(f"{name}.{stat}", base_stats[stat], cur_stats[stat],
+                         direction,
+                         float(overrides.get("tolerance", tolerance)),
+                         failures, rows)
     return failures, rows
 
 

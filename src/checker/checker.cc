@@ -77,7 +77,7 @@ void CheckerStats::merge(const CheckerStats& other) {
   self_heals += other.self_heals;
   check_ns += other.check_ns;
   reports_emitted += other.reports_emitted;
-  reports_dropped += other.reports_dropped;
+  reports_offered += other.reports_offered;
   redeploy_retries += other.redeploy_retries;
 }
 
@@ -145,7 +145,7 @@ void publish_checker_stats(obs::MetricsRegistry& registry,
   set("checker_self_heals", stats.self_heals);
   set("checker_check_ns", stats.check_ns);
   set("checker_reports_emitted", stats.reports_emitted);
-  set("checker_reports_dropped", stats.reports_dropped);
+  set("checker_reports_offered", stats.reports_offered);
   set("checker_redeploy_retries", stats.redeploy_retries);
 }
 
@@ -184,6 +184,8 @@ EsChecker::EsChecker(const spec::EsCfg* cfg, Device* device,
       "checker_check_latency_ns",
       obs::label({{"device", metrics_label()},
                   {"strategies", strategy_set_name(config_)}}));
+  violations_counter_ = &obs::metrics().counter(
+      "checker_violations_total", obs::label({{"device", metrics_label()}}));
   build_aux();
   if (config_.rollback_on_violation) {
     checkpoint_ = std::make_unique<sedspec::StateArena>(
@@ -216,12 +218,6 @@ const std::string& EsChecker::metrics_label() const {
 void EsChecker::set_report_sink(ReportSink* sink, uint32_t shard_id) {
   report_sink_ = sink;
   shard_id_ = shard_id;
-  drop_counter_ =
-      sink == nullptr
-          ? nullptr
-          : &obs::metrics().counter(
-                "report_queue_dropped_total",
-                obs::label({{"shard", std::to_string(shard_id)}}));
 }
 
 void EsChecker::emit_report(Report::Kind kind, Strategy strategy, SiteId site,
@@ -237,13 +233,12 @@ void EsChecker::emit_report(Report::Kind kind, Strategy strategy, SiteId site,
   r.seq = report_seq_++;
   r.value = value;
   // offer() must never block (bounded queue, try-push): a full queue drops
-  // the report and the check path keeps its latency bound. Drops are
-  // surfaced here so fleet aggregation can alarm on report loss.
+  // the report and the check path keeps its latency bound. The sink counts
+  // its own rejections (single source of truth, attributed per shard); we
+  // only track offered vs accepted so drops stay derivable per checker.
+  ++stats_.reports_offered;
   if (report_sink_->offer(r)) {
     ++stats_.reports_emitted;
-  } else {
-    ++stats_.reports_dropped;
-    drop_counter_->inc();
   }
 }
 
@@ -673,6 +668,10 @@ bool EsChecker::before_access(Device& device, const IoAccess& io) {
       if (obs::EventTracer* tr = obs::tracer()) {
         tr->record(obs::EventType::kSelfHeal, "self_heal", cfg_->device_name);
       }
+      if (local_tracer_ != nullptr) {
+        local_tracer_->record(obs::EventType::kSelfHeal, "self_heal",
+                              cfg_->device_name);
+      }
       // Fall through: this round is checked again.
     } else {
       ++degraded_rounds_since_heal_;
@@ -716,6 +715,11 @@ bool EsChecker::contain_fault(Device& device, const std::string& what,
       tr->record(obs::EventType::kQuarantine, "quarantine", cfg_->device_name,
                  failure_policy_name(config_.failure_policy));
     }
+    if (local_tracer_ != nullptr) {
+      local_tracer_->record(obs::EventType::kQuarantine, "quarantine",
+                            cfg_->device_name,
+                            failure_policy_name(config_.failure_policy));
+    }
     device.reset();
     resync();
     if (checkpoint_ != nullptr) {
@@ -755,10 +759,19 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
   }
   ++stats_.rounds;
   stats_.total_steps += last_.steps;
+  // Flight-recorder ring: one fixed-cost event per checked round so an
+  // incident bundle carries the last-K rounds of context (address + step
+  // count identify what the guest was driving).
+  if (local_tracer_ != nullptr) {
+    local_tracer_->record(obs::EventType::kIoAccess,
+                          io.is_write ? "io_write" : "io_read",
+                          cfg_->device_name, {}, io.addr, last_.steps);
+  }
   for (const Violation& v : last_.violations) {
     ++stats_.violations_by_strategy[static_cast<int>(v.strategy)];
   }
   if (!last_.violations.empty()) {
+    violations_counter_->inc(last_.violations.size());
     for (const Violation& v : last_.violations) {
       emit_report(Report::Kind::kViolation, v.strategy, v.site);
     }
@@ -766,6 +779,13 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
       for (const Violation& v : last_.violations) {
         tr->record(obs::EventType::kViolation, "violation", cfg_->device_name,
                    strategy_name(v.strategy), v.site);
+      }
+    }
+    if (local_tracer_ != nullptr) {
+      for (const Violation& v : last_.violations) {
+        local_tracer_->record(obs::EventType::kViolation, "violation",
+                              cfg_->device_name, strategy_name(v.strategy),
+                              v.site);
       }
     }
   }

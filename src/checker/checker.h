@@ -53,6 +53,10 @@
 #include "spec/spec_store.h"
 #include "vdev/bus.h"
 
+namespace sedspec::obs {
+class EventTracer;
+}  // namespace sedspec::obs
+
 namespace sedspec::checker {
 
 using sedspec::Device;
@@ -136,8 +140,11 @@ struct Report {
 
 /// Where the checker ships reports. Implementations must be safe to call
 /// from many shard threads concurrently and must never block: offer()
-/// either accepts the report or returns false (bounded queue full), and the
-/// caller accounts the drop (CheckerStats.reports_dropped).
+/// either accepts the report or returns false (bounded queue full). The
+/// SINK is the single source of truth for drop accounting (ReportQueue
+/// counts its own rejections and attributes them per shard); the caller
+/// only counts offers made (CheckerStats.reports_offered), so drops are
+/// derivable as offered - emitted without double-booking.
 class ReportSink {
  public:
   virtual ~ReportSink() = default;
@@ -229,11 +236,13 @@ struct CheckerStats {
   // only while obs::timing_enabled(); otherwise stays 0).
   uint64_t check_ns = 0;
 
-  // Report-queue accounting (concurrency layer): offers made to the
-  // attached ReportSink and offers the bounded queue rejected. The check
-  // path never blocks on a full queue — it drops and counts here.
+  // Report-queue accounting (concurrency layer): offers the attached
+  // ReportSink accepted and total offers attempted. The check path never
+  // blocks on a full queue — the QUEUE counts its rejections (single
+  // source of truth; see ReportQueue::dropped); per-checker drops are
+  // reports_offered - reports_emitted.
   uint64_t reports_emitted = 0;
-  uint64_t reports_dropped = 0;
+  uint64_t reports_offered = 0;
 
   // Redeploy robustness (control plane): transient spec-fetch failures
   // retried with backoff during shard spec polling. Incremented by the
@@ -314,12 +323,22 @@ class EsChecker final : public sedspec::IoProxy {
   }
 
   /// Ships violation/containment reports to `sink` tagged with `shard_id`
-  /// (see Report). nullptr detaches. Offers that the sink rejects are
-  /// counted in stats().reports_dropped AND in the labeled process counter
-  /// `report_queue_dropped_total{shard=...}` (resolved here, once) — the
-  /// check path never blocks, and rollback triggers can watch report loss
-  /// per shard without polling every checker.
+  /// (see Report). nullptr detaches. The sink owns drop accounting
+  /// (ReportQueue counts rejections and attributes them per shard via
+  /// `report_queue_dropped_total{shard=...}`); this checker only counts
+  /// offers attempted (stats().reports_offered) and accepted
+  /// (stats().reports_emitted).
   void set_report_sink(ReportSink* sink, uint32_t shard_id = 0);
+
+  /// Attaches a per-shard flight-recorder ring (see obs/flight.h): when
+  /// set, every checked round records a fixed-cost kIoAccess event
+  /// (a = address, b = traversal steps) and violation/quarantine/self-heal
+  /// events into it, giving incident bundles the last-K-rounds context.
+  /// nullptr (default) detaches. The tracer must outlive the checker.
+  void set_local_tracer(obs::EventTracer* tracer) { local_tracer_ = tracer; }
+  [[nodiscard]] obs::EventTracer* local_tracer() const {
+    return local_tracer_;
+  }
 
   /// Label used for the `device=` metric dimension (config override or the
   /// spec's device name).
@@ -366,7 +385,7 @@ class EsChecker final : public sedspec::IoProxy {
   Device* device_;
   CheckerConfig config_;
   ReportSink* report_sink_ = nullptr;
-  obs::Counter* drop_counter_ = nullptr;  // report_queue_dropped_total{shard}
+  obs::EventTracer* local_tracer_ = nullptr;  // flight-recorder shard ring
   uint32_t shard_id_ = 0;
   uint64_t report_seq_ = 0;
   sedspec::StateArena shadow_;
@@ -379,6 +398,11 @@ class EsChecker final : public sedspec::IoProxy {
   FaultHook fault_hook_;
   // Resolved once at construction; recording is relaxed-atomic only.
   obs::Histogram* latency_hist_ = nullptr;
+  // Live cumulative violation counter (checker_violations_total{device=})
+  // — unlike the publish_metrics gauges this updates on the hot path, so
+  // the time-series/SLO layer can window violation rates without polling
+  // every checker.
+  obs::Counter* violations_counter_ = nullptr;
 
   std::vector<BlockAux> aux_;                           // by SiteId
   std::vector<std::pair<sedspec::IoKey, SiteId>> entries_;  // flat dispatch

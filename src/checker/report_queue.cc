@@ -18,6 +18,24 @@ ReportQueue::ReportQueue(size_t capacity) {
   }
 }
 
+obs::Counter& ReportQueue::drop_counter_for(uint32_t shard) {
+  std::atomic<obs::Counter*>& slot = shard < kDropCounterSlots
+                                         ? drop_counters_[shard]
+                                         : drop_counter_overflow_;
+  obs::Counter* c = slot.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    // Racing first-drop resolvers all get the same registry handle (the
+    // registry's lookup is idempotent), so last-writer-wins is benign.
+    const std::string label =
+        shard < kDropCounterSlots
+            ? obs::label({{"shard", std::to_string(shard)}})
+            : obs::label({{"shard", "overflow"}});
+    c = &obs::metrics().counter("report_queue_dropped_total", label);
+    slot.store(c, std::memory_order_release);
+  }
+  return *c;
+}
+
 bool ReportQueue::try_push(const Report& r) {
   size_t pos = enqueue_.load(std::memory_order_relaxed);
   for (;;) {
@@ -38,6 +56,7 @@ bool ReportQueue::try_push(const Report& r) {
     } else if (dif < 0) {
       // Slot still holds the previous generation's item: queue is full.
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      drop_counter_for(r.shard).inc();
       return false;
     } else {
       pos = enqueue_.load(std::memory_order_relaxed);

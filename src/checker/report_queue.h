@@ -9,10 +9,13 @@
 // a full queue.
 //
 // Overflow policy: try_push on a full queue returns false immediately — the
-// report is DROPPED, never the access. The producer-side drop is counted
-// here (dropped()) and by the emitting checker (CheckerStats::
-// reports_dropped), so lost telemetry is observable even though the check
-// path's latency bound held.
+// report is DROPPED, never the access. The queue is the SINGLE source of
+// truth for drop accounting: each rejection ticks dropped() and the
+// per-shard process counter `report_queue_dropped_total{shard=<r.shard>}`
+// (handle cached per shard, resolved lazily once). Emitting checkers only
+// count offers attempted vs accepted (CheckerStats::reports_offered /
+// reports_emitted), so conservation holds without double-booking:
+//   sum(offered) - sum(emitted) == dropped().
 #pragma once
 
 #include <atomic>
@@ -31,8 +34,10 @@ class ReportQueue final : public ReportSink {
   ReportQueue(const ReportQueue&) = delete;
   ReportQueue& operator=(const ReportQueue&) = delete;
 
-  /// Lock-free try-push; false (and a dropped() tick) when full. Safe from
-  /// any number of producer threads concurrently with consumers.
+  /// Lock-free try-push; false when full, ticking dropped() and the
+  /// per-shard `report_queue_dropped_total` counter (attributed via
+  /// `r.shard`). Safe from any number of producer threads concurrently
+  /// with consumers.
   bool try_push(const Report& r);
 
   /// ReportSink for EsChecker::set_report_sink.
@@ -63,6 +68,17 @@ class ReportQueue final : public ReportSink {
     std::atomic<size_t> seq{0};
     Report item;
   };
+
+  /// Drop-path per-shard counter attribution. The counter handle is
+  /// resolved lazily on a shard's first drop (registry lookup under its
+  /// mutex) and cached in a fixed slot array; shard ids beyond the array
+  /// collapse into one overflow-labeled series so attribution stays
+  /// bounded. Only the (already slow) reject path pays for this.
+  obs::Counter& drop_counter_for(uint32_t shard);
+
+  static constexpr size_t kDropCounterSlots = 64;
+  std::atomic<obs::Counter*> drop_counters_[kDropCounterSlots] = {};
+  std::atomic<obs::Counter*> drop_counter_overflow_{nullptr};
 
   std::unique_ptr<Cell[]> cells_;
   size_t mask_ = 0;

@@ -222,6 +222,9 @@ RolloutOutcome ControlPlane::run_rollout(
     w.observation = state == RolloutState::kShadow
                         ? observe_window(shards, canary, report, tag.str())
                         : confirm_observation(shards, canary, report);
+    if (slo_feed) {
+      w.observation.slo_breaches = slo_feed();
+    }
     if (observe_filter) {
       observe_filter(w.observation);
     }

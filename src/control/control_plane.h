@@ -101,6 +101,15 @@ class ControlPlane {
     return journal_;
   }
 
+  /// SLO feed: invoked once per observation window, AFTER the window's
+  /// enforcement run and before the verdict. Returns the number of SLO
+  /// burn-rate breaches attributable to that window (typically
+  /// obs::SloEngine::breaches() deltas from a collector ticking alongside
+  /// the fleet); the count lands in StageObservation::slo_breaches, where
+  /// RolloutThresholds::max_slo_breaches can fail the rollout on it.
+  /// Unset = no SLO feed (slo_breaches stays 0).
+  std::function<uint64_t()> slo_feed;
+
   /// Fault seam: rewrites an assembled StageObservation before the verdict
   /// (models a delayed or lossy metric feed).
   std::function<void(StageObservation&)> observe_filter;

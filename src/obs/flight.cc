@@ -1,0 +1,157 @@
+#include "obs/flight.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sedspec::obs {
+
+namespace {
+constexpr size_t kTriggerCount = 5;
+}  // namespace
+
+const char* flight_trigger_name(FlightTrigger t) {
+  switch (t) {
+    case FlightTrigger::kViolation:
+      return "violation";
+    case FlightTrigger::kQuarantine:
+      return "quarantine";
+    case FlightTrigger::kWatchdog:
+      return "watchdog";
+    case FlightTrigger::kSloBreach:
+      return "slo_breach";
+    case FlightTrigger::kManual:
+      return "manual";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t shards, FlightConfig cfg) : cfg_(cfg) {
+  SEDSPEC_REQUIRE(shards > 0);
+  SEDSPEC_REQUIRE(cfg_.shard_ring_capacity > 0);
+  SEDSPEC_REQUIRE(cfg_.max_bundles > 0);
+  rings_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    rings_.push_back(
+        std::make_unique<EventTracer>(cfg_.shard_ring_capacity));
+    // Shard rings record everything the checker hands them, including
+    // per-round I/O events — that is the whole point of a flight ring.
+    rings_.back()->set_detail(EventTracer::Detail::kVerbose);
+  }
+  last_dump_epoch_.assign(shards * kTriggerCount, ~uint64_t{0});
+}
+
+void FlightRecorder::set_context_provider(
+    std::function<std::string()> provider) {
+  std::lock_guard lock(mu_);
+  context_provider_ = std::move(provider);
+}
+
+void FlightRecorder::set_epoch(uint64_t epoch) {
+  epoch_.store(epoch, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::dump(FlightTrigger trigger, size_t shard,
+                          std::string_view reason) {
+  SEDSPEC_REQUIRE(shard < rings_.size());
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  EventTracer& ring = *rings_[shard];
+
+  std::lock_guard lock(mu_);
+  const size_t dedup_idx =
+      shard * kTriggerCount + static_cast<size_t>(trigger);
+  if (last_dump_epoch_[dedup_idx] == epoch) {
+    ++suppressed_;
+    return false;
+  }
+  last_dump_epoch_[dedup_idx] = epoch;
+
+  FlightBundle b;
+  b.sequence = sequence_++;
+  b.ts_ns = now_ns();
+  b.trigger = trigger;
+  b.shard = shard;
+  b.epoch = epoch;
+  b.reason = std::string(reason);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  b.events.reserve(events.size());
+  for (const TraceEvent& ev : events) {
+    FlightBundle::Event e;
+    e.ts_ns = ev.ts_ns;
+    e.a = ev.a;
+    e.b = ev.b;
+    e.type = event_type_name(ev.type);
+    e.name = ring.string_at(ev.name);
+    e.cat = ring.string_at(ev.cat);
+    e.detail = ring.string_at(ev.detail);
+    b.events.push_back(std::move(e));
+  }
+  b.metrics_json = metrics().to_json();
+  if (context_provider_) {
+    b.context_json = context_provider_();
+  }
+  bundles_.push_back(std::move(b));
+  while (bundles_.size() > cfg_.max_bundles) {
+    bundles_.pop_front();
+  }
+  ++dumps_;
+  return true;
+}
+
+uint64_t FlightRecorder::dumps() const {
+  std::lock_guard lock(mu_);
+  return dumps_;
+}
+
+uint64_t FlightRecorder::suppressed() const {
+  std::lock_guard lock(mu_);
+  return suppressed_;
+}
+
+std::vector<FlightBundle> FlightRecorder::bundles() const {
+  std::lock_guard lock(mu_);
+  return {bundles_.begin(), bundles_.end()};
+}
+
+std::string FlightBundle::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"sequence\": " << sequence << ",\n  \"ts_ns\": " << ts_ns
+      << ",\n  \"trigger\": \"" << flight_trigger_name(trigger)
+      << "\",\n  \"shard\": " << shard << ",\n  \"epoch\": " << epoch
+      << ",\n  \"reason\": \"" << json_escape(reason)
+      << "\",\n  \"events\": [";
+  bool first = true;
+  for (const Event& e : events) {
+    out << (first ? "" : ",") << "\n    {\"ts_ns\": " << e.ts_ns
+        << ", \"type\": \"" << json_escape(e.type) << "\", \"name\": \""
+        << json_escape(e.name) << "\", \"cat\": \"" << json_escape(e.cat)
+        << "\", \"detail\": \"" << json_escape(e.detail)
+        << "\", \"a\": " << e.a << ", \"b\": " << e.b << "}";
+    first = false;
+  }
+  // metrics_json / context_json are themselves JSON — embed verbatim so
+  // the bundle parses back as one document.
+  out << "\n  ],\n  \"metrics\": "
+      << (metrics_json.empty() ? "{}" : metrics_json)
+      << ",\n  \"context\": " << (context_json.empty() ? "{}" : context_json)
+      << "\n}\n";
+  return out.str();
+}
+
+std::string FlightRecorder::to_json() const {
+  const std::vector<FlightBundle> all = bundles();
+  std::ostringstream out;
+  out << "{\n\"dumps\": " << dumps() << ",\n\"suppressed\": " << suppressed()
+      << ",\n\"bundles\": [";
+  bool first = true;
+  for (const FlightBundle& b : all) {
+    out << (first ? "" : ",") << "\n" << b.to_json();
+    first = false;
+  }
+  out << "\n]\n}\n";
+  return out.str();
+}
+
+}  // namespace sedspec::obs

@@ -1,0 +1,66 @@
+#include "obs/memprobe.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace sedspec::obs {
+
+namespace {
+
+uint64_t read_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared ..." in pages.
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) {
+    return 0;
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident * static_cast<uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+uint64_t read_heap_bytes() {
+#if defined(__GLIBC__) && __GLIBC__ >= 2 && __GLIBC_MINOR__ >= 33
+  const struct mallinfo2 mi = mallinfo2();
+  return static_cast<uint64_t>(mi.uordblks) +
+         static_cast<uint64_t>(mi.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+MemoryProbe::MemoryProbe(MetricsRegistry& registry)
+    : rss_gauge_(registry.gauge("rss_bytes")),
+      heap_gauge_(registry.gauge("heap_bytes")) {
+  registry.set_help("rss_bytes", "Process resident set size in bytes.");
+  registry.set_help("heap_bytes",
+                    "Allocator in-use heap bytes (mallinfo2).");
+}
+
+void MemoryProbe::sample() {
+  rss_bytes_ = read_rss_bytes();
+  heap_bytes_ = read_heap_bytes();
+  rss_peak_bytes_ = std::max(rss_peak_bytes_, rss_bytes_);
+  rss_gauge_.set(static_cast<int64_t>(rss_bytes_));
+  heap_gauge_.set(static_cast<int64_t>(heap_bytes_));
+}
+
+}  // namespace sedspec::obs

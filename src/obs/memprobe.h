@@ -1,0 +1,39 @@
+// Memory footprint probe: samples process RSS and allocator heap usage
+// into gauges so the time-series layer can watch for drift.
+//
+// Linux-only sources (/proc/self/statm for RSS, mallinfo2 for in-use heap
+// bytes), compiled out elsewhere — sample() then reports zeros rather than
+// failing, so the soak harness stays portable. No dependencies beyond
+// glibc.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace sedspec::obs {
+
+class MemoryProbe {
+ public:
+  /// Gauges are registered in `registry` as `rss_bytes` and `heap_bytes`
+  /// (no labels): process-wide values, one probe per process.
+  explicit MemoryProbe(MetricsRegistry& registry);
+
+  /// Reads the current footprint and publishes it to the gauges. Cheap
+  /// (one /proc read + one mallinfo call); call once per window.
+  void sample();
+
+  [[nodiscard]] uint64_t rss_bytes() const { return rss_bytes_; }
+  [[nodiscard]] uint64_t heap_bytes() const { return heap_bytes_; }
+  /// Largest RSS observed across samples.
+  [[nodiscard]] uint64_t rss_peak_bytes() const { return rss_peak_bytes_; }
+
+ private:
+  Gauge& rss_gauge_;
+  Gauge& heap_gauge_;
+  uint64_t rss_bytes_ = 0;
+  uint64_t heap_bytes_ = 0;
+  uint64_t rss_peak_bytes_ = 0;
+};
+
+}  // namespace sedspec::obs

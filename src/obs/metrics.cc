@@ -43,6 +43,17 @@ void Histogram::record(uint64_t v) {
   }
 }
 
+Histogram::State Histogram::state() const {
+  State s;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = bucket_count(i);
+  }
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  return s;
+}
+
 void Histogram::merge(const Histogram& other) {
   for (size_t i = 0; i < kBuckets; ++i) {
     const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
@@ -85,6 +96,31 @@ uint64_t Histogram::percentile(double q) const {
 // ---------------------------------------------------------------------------
 // Registry
 
+namespace {
+
+/// Exposition-format escaping for a label VALUE: backslash, double quote,
+/// and newline must be escaped or the emitted line is unparseable (and a
+/// crafted device name could forge extra labels).
+void append_escaped_label_value(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+}  // namespace
+
 std::string label(
     std::initializer_list<std::pair<std::string_view, std::string_view>> kv) {
   std::string out;
@@ -94,7 +130,7 @@ std::string label(
     }
     out += k;
     out += "=\"";
-    out += v;
+    append_escaped_label_value(out, v);
     out += '"';
   }
   return out;
@@ -170,6 +206,11 @@ const Histogram* MetricsRegistry::find_histogram(
   return find_in(histograms_, mu_, key_of(name, labels));
 }
 
+void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mu_);
+  help_[std::string(name)] = std::string(help);
+}
+
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard lock(mu_);
   std::ostringstream out;
@@ -186,37 +227,92 @@ std::string MetricsRegistry::to_prometheus() const {
     out << ' ' << value << '\n';
   };
 
+  // Exposition invariant: every family's `# HELP`/`# TYPE` header appears
+  // exactly once, immediately before that family's samples, and all of a
+  // family's samples are contiguous. The key map is sorted on
+  // `name{labels}` so same-name series are adjacent; the header fires on
+  // the first series of each name.
   std::string_view last_name;
-  auto type_header = [&](std::string_view name, const char* type) {
-    if (name != last_name) {
-      out << "# TYPE sedspec_" << name << ' ' << type << '\n';
-      last_name = name;
+  auto family_header = [&](std::string_view name, const char* type) {
+    if (name == last_name) {
+      return;
     }
+    const auto help = help_.find(std::string(name));
+    if (help != help_.end()) {
+      out << "# HELP sedspec_" << name << ' ' << help->second << '\n';
+    }
+    out << "# TYPE sedspec_" << name << ' ' << type << '\n';
+    last_name = name;
   };
 
   for (const auto& [key, c] : counters_) {
     const auto [name, labels] = split_key(key);
-    type_header(name, "counter");
+    family_header(name, "counter");
     series(name, labels, "", c->value());
   }
   last_name = {};
   for (const auto& [key, g] : gauges_) {
     const auto [name, labels] = split_key(key);
-    type_header(name, "gauge");
+    family_header(name, "gauge");
     series(name, labels, "", g->value());
   }
+  // Histograms expand into TWO families: the summary family (quantile
+  // series plus `_sum`/`_count`, which the exposition format folds into
+  // the base family) and a separate `<name>_max` gauge family. Emitting
+  // `_max` inline per series would interleave two families — the summary's
+  // samples must stay contiguous — so the `_max` series of each name are
+  // buffered and emitted as their own grouped family afterwards.
   last_name = {};
+  std::vector<std::pair<std::string, uint64_t>> max_series;  // labels, max
+  auto flush_max = [&] {
+    if (max_series.empty()) {
+      return;
+    }
+    const std::string max_name = std::string(last_name) + "_max";
+    out << "# TYPE sedspec_" << max_name << " gauge\n";
+    for (const auto& [labels, value] : max_series) {
+      series(max_name, labels, "", value);
+    }
+    max_series.clear();
+  };
   for (const auto& [key, h] : histograms_) {
     const auto [name, labels] = split_key(key);
-    type_header(name, "summary");
+    if (name != last_name) {
+      flush_max();
+      family_header(name, "summary");
+    }
     series(name, labels, "quantile=\"0.5\"", h->p50());
     series(name, labels, "quantile=\"0.9\"", h->p90());
     series(name, labels, "quantile=\"0.99\"", h->p99());
-    series(std::string(name) + "_max", labels, "", h->max());
-    series(std::string(name) + "_count", labels, "", h->count());
     series(std::string(name) + "_sum", labels, "", h->sum());
+    series(std::string(name) + "_count", labels, "", h->count());
+    max_series.emplace_back(std::string(labels), h->max());
   }
+  flush_max();
   return out.str();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    const auto [name, labels] = split_key(key);
+    snap.counters.push_back(
+        {std::string(name), std::string(labels), c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    const auto [name, labels] = split_key(key);
+    snap.gauges.push_back({std::string(name), std::string(labels), g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    const auto [name, labels] = split_key(key);
+    snap.histograms.push_back(
+        {std::string(name), std::string(labels), h->state()});
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::to_json() const {

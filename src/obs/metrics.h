@@ -29,6 +29,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace sedspec::obs {
 
@@ -101,6 +102,7 @@ class Histogram {
   [[nodiscard]] uint64_t p50() const { return percentile(0.50); }
   [[nodiscard]] uint64_t p90() const { return percentile(0.90); }
   [[nodiscard]] uint64_t p99() const { return percentile(0.99); }
+  [[nodiscard]] uint64_t p999() const { return percentile(0.999); }
 
   [[nodiscard]] uint64_t bucket_count(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
@@ -116,6 +118,17 @@ class Histogram {
   /// Largest value bucket i can hold (2^i - 1; saturates at UINT64_MAX).
   [[nodiscard]] static uint64_t bucket_upper(size_t i);
 
+  /// Point-in-time copy of the full bucket state (relaxed loads). The
+  /// time-series collector deltas two of these to recover per-window
+  /// quantiles from a cumulative histogram.
+  struct State {
+    uint64_t buckets[kBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+  };
+  [[nodiscard]] State state() const;
+
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
@@ -125,6 +138,9 @@ class Histogram {
 
 /// Formats a label set as `k1="v1",k2="v2"` — the canonical label-string
 /// form the registry keys on (and Prometheus exposition uses verbatim).
+/// Label VALUES are escaped per the exposition format (`\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`), so the canonical string is directly
+/// emittable and a value can safely carry any byte.
 [[nodiscard]] std::string label(
     std::initializer_list<std::pair<std::string_view, std::string_view>> kv);
 
@@ -149,8 +165,38 @@ class MetricsRegistry {
   [[nodiscard]] const Histogram* find_histogram(
       std::string_view name, std::string_view labels = {}) const;
 
+  /// Registers help text for a metric family, emitted as `# HELP` in the
+  /// Prometheus exposition. Idempotent; last writer wins.
+  void set_help(std::string_view name, std::string_view help);
+
+  /// Point-in-time copy of every registered series (one lock, relaxed
+  /// value loads). This is the time-series collector's input: stable
+  /// (name, labels) identity plus a value copy it can delta against the
+  /// previous sample.
+  struct Snapshot {
+    struct CounterEntry {
+      std::string name, labels;
+      uint64_t value = 0;
+    };
+    struct GaugeEntry {
+      std::string name, labels;
+      int64_t value = 0;
+    };
+    struct HistogramEntry {
+      std::string name, labels;
+      Histogram::State state;
+    };
+    std::vector<CounterEntry> counters;
+    std::vector<GaugeEntry> gauges;
+    std::vector<HistogramEntry> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
   /// Prometheus text exposition: `sedspec_<name>{labels} value` lines with
-  /// `# TYPE` headers; histograms export quantile/count/sum/max series.
+  /// `# HELP`/`# TYPE` headers emitted once per metric family (all of a
+  /// family's samples are contiguous even when several labeled series
+  /// exist); histograms export quantile/count/sum series as one summary
+  /// family plus a separate `<name>_max` gauge family.
   [[nodiscard]] std::string to_prometheus() const;
 
   /// JSON snapshot:
@@ -173,6 +219,7 @@ class MetricsRegistry {
   Family<Counter> counters_;
   Family<Gauge> gauges_;
   Family<Histogram> histograms_;
+  std::map<std::string, std::string> help_;  // by family name
 };
 
 /// The process-default registry every built-in instrumentation site

@@ -1,0 +1,307 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.h"
+#include "obs/json.h"
+
+namespace sedspec::obs {
+
+uint64_t window_percentile(const uint64_t (&buckets)[Histogram::kBuckets],
+                           uint64_t count, uint64_t max_bound, double q) {
+  if (count == 0) {
+    return 0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return std::min(Histogram::bucket_upper(i), max_bound);
+    }
+  }
+  return max_bound;
+}
+
+const WindowCounter* WindowSample::find_counter(std::string_view name,
+                                                std::string_view labels) const {
+  for (const WindowCounter& c : counters) {
+    if (c.name == name && c.labels == labels) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const WindowGauge* WindowSample::find_gauge(std::string_view name,
+                                            std::string_view labels) const {
+  for (const WindowGauge& g : gauges) {
+    if (g.name == name && g.labels == labels) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+const WindowHistogram* WindowSample::find_histogram(
+    std::string_view name, std::string_view labels) const {
+  for (const WindowHistogram& h : histograms) {
+    if (h.name == name && h.labels == labels) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t WindowSample::counter_delta_sum(std::string_view name) const {
+  uint64_t total = 0;
+  for (const WindowCounter& c : counters) {
+    if (c.name == name) {
+      total += c.delta;
+    }
+  }
+  return total;
+}
+
+std::optional<WindowHistogram> WindowSample::merged_histogram(
+    std::string_view name) const {
+  std::optional<WindowHistogram> merged;
+  for (const WindowHistogram& h : histograms) {
+    if (h.name != name) {
+      continue;
+    }
+    if (!merged) {
+      merged.emplace();
+      merged->name = std::string(name);
+    }
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      merged->buckets[i] += h.buckets[i];
+    }
+    merged->count += h.count;
+    merged->sum += h.sum;
+    merged->max_bound = std::max(merged->max_bound, h.max_bound);
+  }
+  if (merged) {
+    merged->p50 =
+        window_percentile(merged->buckets, merged->count, merged->max_bound,
+                          0.50);
+    merged->p90 =
+        window_percentile(merged->buckets, merged->count, merged->max_bound,
+                          0.90);
+    merged->p99 =
+        window_percentile(merged->buckets, merged->count, merged->max_bound,
+                          0.99);
+    merged->p999 =
+        window_percentile(merged->buckets, merged->count, merged->max_bound,
+                          0.999);
+  }
+  return merged;
+}
+
+TimeSeries::TimeSeries(const MetricsRegistry* registry, TimeSeriesConfig cfg)
+    : registry_(registry), cfg_(cfg) {
+  SEDSPEC_REQUIRE(registry_ != nullptr);
+  SEDSPEC_REQUIRE(cfg_.window_capacity > 0);
+}
+
+namespace {
+
+/// Series that appear mid-run have no entry in the previous snapshot;
+/// their base value is zero (the registry zero-initializes on creation,
+/// so delta-vs-zero is exact, not an approximation).
+template <typename Entry>
+const Entry* find_prev(const std::vector<Entry>& prev, const Entry& cur) {
+  for (const Entry& p : prev) {
+    if (p.name == cur.name && p.labels == cur.labels) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const WindowSample& TimeSeries::sample(uint64_t now_ns) {
+  MetricsRegistry::Snapshot cur = registry_->snapshot();
+  WindowSample w;
+  w.index = next_index_++;
+  w.t_start_ns = have_base_ ? base_ns_ : now_ns;
+  w.t_end_ns = now_ns;
+  const double seconds =
+      static_cast<double>(w.t_end_ns - w.t_start_ns) / 1e9;
+
+  w.counters.reserve(cur.counters.size());
+  for (const auto& c : cur.counters) {
+    const auto* prev = find_prev(base_.counters, c);
+    WindowCounter wc;
+    wc.name = c.name;
+    wc.labels = c.labels;
+    const uint64_t base = prev != nullptr ? prev->value : 0;
+    wc.delta = c.value >= base ? c.value - base : 0;
+    wc.rate = seconds > 0.0 ? static_cast<double>(wc.delta) / seconds : 0.0;
+    w.counters.push_back(std::move(wc));
+  }
+
+  w.gauges.reserve(cur.gauges.size());
+  for (const auto& g : cur.gauges) {
+    const auto* prev = find_prev(base_.gauges, g);
+    WindowGauge wg;
+    wg.name = g.name;
+    wg.labels = g.labels;
+    wg.value = g.value;
+    wg.delta = g.value - (prev != nullptr ? prev->value : 0);
+    w.gauges.push_back(std::move(wg));
+  }
+
+  w.histograms.reserve(cur.histograms.size());
+  for (const auto& h : cur.histograms) {
+    const auto* prev = find_prev(base_.histograms, h);
+    WindowHistogram wh;
+    wh.name = h.name;
+    wh.labels = h.labels;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t base = prev != nullptr ? prev->state.buckets[i] : 0;
+      const uint64_t cur_b = h.state.buckets[i];
+      wh.buckets[i] = cur_b >= base ? cur_b - base : 0;
+      if (wh.buckets[i] != 0) {
+        wh.max_bound = Histogram::bucket_upper(i);
+      }
+      wh.count += wh.buckets[i];
+    }
+    const uint64_t base_sum = prev != nullptr ? prev->state.sum : 0;
+    wh.sum = h.state.sum >= base_sum ? h.state.sum - base_sum : 0;
+    // The cumulative max is whole-run; only cap the window bound with it
+    // (a window can never have seen a value above the run max).
+    wh.max_bound = std::min(wh.max_bound, h.state.max);
+    wh.p50 = window_percentile(wh.buckets, wh.count, wh.max_bound, 0.50);
+    wh.p90 = window_percentile(wh.buckets, wh.count, wh.max_bound, 0.90);
+    wh.p99 = window_percentile(wh.buckets, wh.count, wh.max_bound, 0.99);
+    wh.p999 = window_percentile(wh.buckets, wh.count, wh.max_bound, 0.999);
+    w.histograms.push_back(std::move(wh));
+  }
+
+  base_ = std::move(cur);
+  base_ns_ = now_ns;
+  have_base_ = true;
+
+  fold_aggregates(w);
+  ring_.push_back(std::move(w));
+  while (ring_.size() > cfg_.window_capacity) {
+    ring_.pop_front();
+  }
+  return ring_.back();
+}
+
+namespace {
+
+void fold_one(std::map<std::string, SeriesAggregate>& aggs,
+              const std::string& key, double v) {
+  auto [it, inserted] = aggs.try_emplace(key);
+  SeriesAggregate& a = it->second;
+  if (inserted) {
+    a.min = v;
+    a.max = v;
+  } else {
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+  }
+  a.sum += v;
+  ++a.windows;
+}
+
+std::string series_key(const std::string& name, const std::string& labels,
+                       const char* field) {
+  std::string key = name;
+  key += '{';
+  key += labels;
+  key += "}.";
+  key += field;
+  return key;
+}
+
+}  // namespace
+
+void TimeSeries::fold_aggregates(const WindowSample& w) {
+  for (const WindowCounter& c : w.counters) {
+    fold_one(aggregates_, series_key(c.name, c.labels, "rate"), c.rate);
+    fold_one(aggregates_, series_key(c.name, c.labels, "delta"),
+             static_cast<double>(c.delta));
+  }
+  for (const WindowGauge& g : w.gauges) {
+    fold_one(aggregates_, series_key(g.name, g.labels, "value"),
+             static_cast<double>(g.value));
+  }
+  for (const WindowHistogram& h : w.histograms) {
+    fold_one(aggregates_, series_key(h.name, h.labels, "p50"),
+             static_cast<double>(h.p50));
+    fold_one(aggregates_, series_key(h.name, h.labels, "p90"),
+             static_cast<double>(h.p90));
+    fold_one(aggregates_, series_key(h.name, h.labels, "p99"),
+             static_cast<double>(h.p99));
+    fold_one(aggregates_, series_key(h.name, h.labels, "p999"),
+             static_cast<double>(h.p999));
+    fold_one(aggregates_, series_key(h.name, h.labels, "count"),
+             static_cast<double>(h.count));
+  }
+}
+
+const SeriesAggregate* TimeSeries::find_aggregate(std::string_view key) const {
+  auto it = aggregates_.find(std::string(key));
+  return it == aggregates_.end() ? nullptr : &it->second;
+}
+
+std::string TimeSeries::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"total_windows\": " << total_windows()
+      << ",\n  \"windows\": [";
+  bool first_w = true;
+  for (const WindowSample& w : ring_) {
+    out << (first_w ? "" : ",") << "\n    {\"index\": " << w.index
+        << ", \"t_start_ns\": " << w.t_start_ns
+        << ", \"t_end_ns\": " << w.t_end_ns << ",\n     \"counters\": [";
+    bool first = true;
+    for (const WindowCounter& c : w.counters) {
+      out << (first ? "" : ", ") << "{\"name\": \"" << json_escape(c.name)
+          << "\", \"labels\": \"" << json_escape(c.labels)
+          << "\", \"delta\": " << c.delta << ", \"rate\": " << c.rate << "}";
+      first = false;
+    }
+    out << "],\n     \"gauges\": [";
+    first = true;
+    for (const WindowGauge& g : w.gauges) {
+      out << (first ? "" : ", ") << "{\"name\": \"" << json_escape(g.name)
+          << "\", \"labels\": \"" << json_escape(g.labels)
+          << "\", \"value\": " << g.value << ", \"delta\": " << g.delta << "}";
+      first = false;
+    }
+    out << "],\n     \"histograms\": [";
+    first = true;
+    for (const WindowHistogram& h : w.histograms) {
+      out << (first ? "" : ", ") << "{\"name\": \"" << json_escape(h.name)
+          << "\", \"labels\": \"" << json_escape(h.labels)
+          << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+          << ", \"p50\": " << h.p50 << ", \"p90\": " << h.p90
+          << ", \"p99\": " << h.p99 << ", \"p999\": " << h.p999 << "}";
+      first = false;
+    }
+    out << "]}";
+    first_w = false;
+  }
+  out << "\n  ],\n  \"aggregates\": {";
+  bool first = true;
+  for (const auto& [key, a] : aggregates_) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(key)
+        << "\": {\"min\": " << a.min << ", \"max\": " << a.max
+        << ", \"mean\": " << a.mean() << ", \"windows\": " << a.windows
+        << "}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+}  // namespace sedspec::obs

@@ -1,0 +1,163 @@
+// Time-series collection: windowed deltas over the cumulative
+// MetricsRegistry.
+//
+// The registry's counters and histograms are monotone cumulative — good
+// for cheap hot-path updates, useless for answering "what was the p99
+// *during the last 100 ms*". TimeSeries closes that gap: the caller ticks
+// sample(now_ns) at whatever cadence it likes (the collector never reads a
+// clock itself — intervals are caller-driven, so tests and the soak
+// harness replay deterministic timelines), and each tick deltas the
+// current registry snapshot against the previous one into a WindowSample:
+//   - counters  -> per-window delta + rate (delta / window seconds)
+//   - gauges    -> point-in-time value + delta vs previous window
+//   - histograms-> per-window bucket deltas, from which true windowed
+//                  p50/p90/p99/p99.9 are resolved (same log2 upper-edge
+//                  rule as Histogram::percentile, clamped to the highest
+//                  nonempty delta bucket's upper edge since the cumulative
+//                  max can't be windowed)
+//
+// Memory is bounded for arbitrarily long runs: a ring of the most recent
+// `window_capacity` WindowSamples plus streaming min/max/sum aggregates
+// per tracked series value (e.g. "check_latency_ns{device=\"fdc\"}.p99")
+// covering the WHOLE run, not just the retained ring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sedspec::obs {
+
+struct TimeSeriesConfig {
+  /// Ring depth: how many recent windows stay addressable.
+  size_t window_capacity = 64;
+};
+
+/// Per-window view of one cumulative histogram series.
+struct WindowHistogram {
+  std::string name;
+  std::string labels;
+  uint64_t buckets[Histogram::kBuckets] = {};  // per-window bucket deltas
+  uint64_t count = 0;                          // events in this window
+  uint64_t sum = 0;
+  /// Upper edge of the highest nonempty delta bucket — the tightest bound
+  /// on the window max recoverable from bucket deltas.
+  uint64_t max_bound = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
+struct WindowCounter {
+  std::string name;
+  std::string labels;
+  uint64_t delta = 0;  // increments during this window
+  double rate = 0.0;   // delta / window length in seconds (0 if zero-length)
+};
+
+struct WindowGauge {
+  std::string name;
+  std::string labels;
+  int64_t value = 0;  // value at window end
+  int64_t delta = 0;  // value change across the window (growth detection)
+};
+
+struct WindowSample {
+  uint64_t index = 0;       // 0-based window number since collector start
+  uint64_t t_start_ns = 0;  // previous sample's timestamp
+  uint64_t t_end_ns = 0;    // this sample's timestamp
+  std::vector<WindowCounter> counters;
+  std::vector<WindowGauge> gauges;
+  std::vector<WindowHistogram> histograms;
+
+  [[nodiscard]] const WindowCounter* find_counter(
+      std::string_view name, std::string_view labels) const;
+  [[nodiscard]] const WindowGauge* find_gauge(std::string_view name,
+                                              std::string_view labels) const;
+  [[nodiscard]] const WindowHistogram* find_histogram(
+      std::string_view name, std::string_view labels) const;
+
+  /// Sums every counter series named `name` (any labels) — the fleet-wide
+  /// delta for per-shard-labeled counters.
+  [[nodiscard]] uint64_t counter_delta_sum(std::string_view name) const;
+  /// Merges the bucket deltas of every histogram series named `name` into
+  /// one WindowHistogram with recomputed quantiles. Returns nullopt when no
+  /// series of that name recorded in this window's snapshot.
+  [[nodiscard]] std::optional<WindowHistogram> merged_histogram(
+      std::string_view name) const;
+};
+
+/// Whole-run streaming aggregate of one tracked per-window value.
+struct SeriesAggregate {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  uint64_t windows = 0;
+
+  [[nodiscard]] double mean() const {
+    return windows == 0 ? 0.0 : sum / static_cast<double>(windows);
+  }
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(const MetricsRegistry* registry,
+                      TimeSeriesConfig cfg = {});
+
+  /// Takes a registry snapshot at caller-supplied time `now_ns`, deltas it
+  /// against the previous snapshot, appends the WindowSample to the ring
+  /// (evicting the oldest beyond capacity), and folds per-window values
+  /// into the whole-run aggregates. Returns the freshly closed window.
+  /// Single-threaded by design: one collector thread ticks; shard threads
+  /// only touch the registry.
+  const WindowSample& sample(uint64_t now_ns);
+
+  [[nodiscard]] uint64_t total_windows() const { return next_index_; }
+  /// Windows currently retained (<= window_capacity).
+  [[nodiscard]] size_t size() const { return ring_.size(); }
+  /// Retained window i, oldest-first (0 = oldest retained).
+  [[nodiscard]] const WindowSample& window(size_t i) const { return ring_[i]; }
+  [[nodiscard]] const WindowSample& latest() const { return ring_.back(); }
+
+  /// Whole-run aggregates keyed `name{labels}.<field>` where <field> is
+  /// one of rate/delta (counters), value (gauges), p50/p90/p99/p999/count
+  /// (histograms).
+  [[nodiscard]] const std::map<std::string, SeriesAggregate>& aggregates()
+      const {
+    return aggregates_;
+  }
+  [[nodiscard]] const SeriesAggregate* find_aggregate(
+      std::string_view key) const;
+
+  /// Full export: {"windows":[...], "aggregates":{...}} — each window
+  /// carries timestamps plus its counter/gauge/histogram views (histogram
+  /// buckets are elided; quantiles + count/sum are kept).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  void fold_aggregates(const WindowSample& w);
+
+  const MetricsRegistry* registry_;
+  TimeSeriesConfig cfg_;
+  bool have_base_ = false;
+  uint64_t base_ns_ = 0;
+  MetricsRegistry::Snapshot base_;
+  uint64_t next_index_ = 0;
+  std::deque<WindowSample> ring_;
+  std::map<std::string, SeriesAggregate> aggregates_;
+};
+
+/// Quantiles from a per-window bucket-delta array: same cumulative-count
+/// crossing rule as Histogram::percentile, clamped to `max_bound`.
+[[nodiscard]] uint64_t window_percentile(
+    const uint64_t (&buckets)[Histogram::kBuckets], uint64_t count,
+    uint64_t max_bound, double q);
+
+}  // namespace sedspec::obs

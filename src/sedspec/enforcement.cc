@@ -10,6 +10,7 @@
 #include "common/assert.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/flight.h"
 #include "sedspec/pipeline.h"
 
 namespace sedspec::enforce {
@@ -181,6 +182,10 @@ void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
     }
   };
 
+  // Operation index the checker_hook seam reports; advanced by the op
+  // loop so mid-run redeploys re-arm with the right position.
+  uint64_t hook_op = 0;
+
   // The live deployment: active checker, optional shadow candidate, and
   // the proxy actually installed on the bus. Swapped as one unit between
   // guest operations.
@@ -231,6 +236,10 @@ void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
     next.active = std::make_unique<checker::EsChecker>(
         std::move(active_snap), &workload->device(), ccfg);
     next.active->set_report_sink(&queue, shard_id);
+    if (config_.flight != nullptr) {
+      next.active->set_local_tracer(&config_.flight->shard_ring(
+          shard_id % config_.flight->shards()));
+    }
     if (cand_snap != nullptr) {
       next.candidate = std::make_unique<checker::EsChecker>(
           std::move(cand_snap), &workload->device(), shadow_config(ccfg));
@@ -249,6 +258,11 @@ void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
       }
     });
     dep = std::move(next);
+    // Re-arm seam: checker-local state (fault hooks, flight wiring beyond
+    // the recorder ring) dies with the outgoing checker.
+    if (spec.checker_hook) {
+      spec.checker_hook(hook_op, *dep.active);
+    }
   };
 
   auto undeploy = [&] {
@@ -273,8 +287,14 @@ void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
     }
     workload->common_operation(spec.mode, rng);
     ++result.ops;
+    hook_op = i + 1;
     if (config_.spec_poll_ops == 0 || (i + 1) % config_.spec_poll_ops != 0) {
       continue;
+    }
+    // Poll-boundary seam: lets a burst scheduler adjust the live checker
+    // at poll cadence even when no redeploy happens this round.
+    if (spec.checker_hook && dep.active != nullptr) {
+      spec.checker_hook(hook_op, *dep.active);
     }
     // Policy poll: one tighten anywhere in the tree redeploys this shard
     // with the newly-effective (never weaker) config.
@@ -344,13 +364,47 @@ RunReport EnforcementService::run(const std::vector<ShardSpec>& shards) {
   // Single consumer draining concurrently with the producers, so a burst
   // larger than the queue capacity is not automatically a loss.
   std::atomic<bool> producers_done{false};
+  // Flight-recorder dumps run HERE, off the check path: the consumer maps
+  // incident reports to bundle triggers as it drains (per-epoch dedup in
+  // the recorder keeps violation storms from flooding bundles).
+  obs::FlightRecorder* flight = config_.flight;
+  auto flight_process = [&](size_t from) {
+    if (flight == nullptr) {
+      return;
+    }
+    for (size_t k = from; k < report.reports.size(); ++k) {
+      const checker::Report& r = report.reports[k];
+      obs::FlightTrigger trigger;
+      switch (r.kind) {
+        case checker::Report::Kind::kViolation:
+          trigger = obs::FlightTrigger::kViolation;
+          break;
+        case checker::Report::Kind::kQuarantine:
+          trigger = obs::FlightTrigger::kQuarantine;
+          break;
+        case checker::Report::Kind::kDegraded:
+          // Degraded mode is entered via a contained internal fault —
+          // watchdog trips included — so it maps to the watchdog trigger.
+          trigger = obs::FlightTrigger::kWatchdog;
+          break;
+        default:
+          continue;
+      }
+      flight->dump(trigger, r.shard % flight->shards(),
+                   checker::report_kind_name(r.kind));
+    }
+  };
   std::thread consumer([&] {
+    size_t flight_seen = 0;
     while (!producers_done.load(std::memory_order_acquire)) {
       if (queue.drain(report.reports) == 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
+      flight_process(flight_seen);
+      flight_seen = report.reports.size();
     }
     queue.drain(report.reports);  // final sweep after the last producer
+    flight_process(flight_seen);
   });
 
   std::vector<std::thread> threads;

@@ -33,6 +33,10 @@
 #include "spec/spec_store.h"
 #include "vdev/bus.h"
 
+namespace sedspec::obs {
+class FlightRecorder;
+}  // namespace sedspec::obs
+
 namespace sedspec::enforce {
 
 /// One VM's protected device shard.
@@ -57,6 +61,13 @@ struct ShardSpec {
   /// guest operation with the operation index; throwing models a shard
   /// crash mid-window (captured in ShardResult::error, never escapes).
   std::function<void(uint64_t op)> op_hook;
+  /// Live-checker seam (soak/fault-burst harness): invoked with the
+  /// currently installed active checker right after every (re)deploy and
+  /// at every spec-poll boundary. Redeploys swap checkers — per-checker
+  /// state like fault hooks does not survive the swap — so a burst
+  /// scheduler uses this to (re)arm whatever checker is live. Runs on the
+  /// shard thread, strictly between guest operations.
+  std::function<void(uint64_t op, checker::EsChecker& active)> checker_hook;
 };
 
 struct ServiceConfig {
@@ -97,6 +108,13 @@ struct ServiceConfig {
   uint32_t redeploy_max_retries = 4;
   uint64_t redeploy_backoff_base_us = 50;
   uint64_t redeploy_backoff_max_us = 2000;
+
+  /// Flight recorder (nullptr = off): each shard's active checker records
+  /// its rounds into `flight->shard_ring(shard % shards)`, and the report
+  /// consumer freezes an incident bundle when a violation, quarantine, or
+  /// degraded-mode report is drained (see obs/flight.h). Must outlive
+  /// run().
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct ShardResult {

@@ -116,7 +116,7 @@ TEST(CheckerStats, MergeSumsEveryField) {
   a.self_heals = 15;
   a.check_ns = 16;
   a.reports_emitted = 17;
-  a.reports_dropped = 18;
+  a.reports_offered = 18;
   a.redeploy_retries = 19;
 
   checker::CheckerStats b;
@@ -137,7 +137,7 @@ TEST(CheckerStats, MergeSumsEveryField) {
   b.self_heals = 1500;
   b.check_ns = 1600;
   b.reports_emitted = 1700;
-  b.reports_dropped = 1800;
+  b.reports_offered = 1800;
   b.redeploy_retries = 1900;
 
   a.merge(b);
@@ -158,7 +158,7 @@ TEST(CheckerStats, MergeSumsEveryField) {
   EXPECT_EQ(a.self_heals, 1515u);
   EXPECT_EQ(a.check_ns, 1616u);
   EXPECT_EQ(a.reports_emitted, 1717u);
-  EXPECT_EQ(a.reports_dropped, 1818u);
+  EXPECT_EQ(a.reports_offered, 1818u);
   EXPECT_EQ(a.redeploy_retries, 1919u);
 }
 

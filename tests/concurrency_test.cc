@@ -183,8 +183,11 @@ TEST(Concurrency, ViolationsAreAttributedToTheEmittingShard) {
   }
   EXPECT_EQ(victim_reports, report.shards[2].stats.reports_emitted);
   EXPECT_EQ(report.reports.size(), report.reports_pushed);
+  // The queue's drop count (single source of truth) matches the victim's
+  // offered-minus-emitted derivation — conservation, no double-booking.
   EXPECT_EQ(report.reports_dropped,
-            report.shards[2].stats.reports_dropped);
+            report.shards[2].stats.reports_offered -
+                report.shards[2].stats.reports_emitted);
 }
 
 }  // namespace

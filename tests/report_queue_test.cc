@@ -113,11 +113,12 @@ TEST(ReportQueue, ConcurrentProducersWithLiveConsumerLoseNothing) {
   }
 }
 
-// Checker integration: with a deliberately tiny queue and no consumer, a
-// burst of violating rounds overflows it — the drops land in CheckerStats
-// (the satellite requirement: report loss is observable, the access path
-// never blocks), and the checker keeps serving rounds regardless.
-TEST(ReportQueue, CheckerSurfacesQueueDropsInStats) {
+// Checker integration under overflow: with a deliberately tiny queue and
+// no consumer, a burst of violating rounds overflows it. The QUEUE is the
+// single source of truth for drops (satellite: no double-booking); the
+// checker tracks offers vs acceptances, and conservation must hold:
+//   offered == emitted + queue drops,   emitted == queue pushed.
+TEST(ReportQueue, DropConservationUnderOverflow) {
   auto wl = guest::make_workload("fdc");
   checker::CheckerConfig config;
   config.monitor_only = true;  // violations warn; the device keeps running
@@ -125,6 +126,10 @@ TEST(ReportQueue, CheckerSurfacesQueueDropsInStats) {
 
   ReportQueue tiny(2);
   wl->checker()->set_report_sink(&tiny, /*shard_id=*/7);
+  const obs::Counter& shard_drops =
+      obs::metrics().counter("report_queue_dropped_total",
+                             obs::label({{"shard", "7"}}));
+  const uint64_t shard_drops_before = shard_drops.value();
 
   Rng rng(43);
   for (int i = 0; i < 10; ++i) {
@@ -133,9 +138,13 @@ TEST(ReportQueue, CheckerSurfacesQueueDropsInStats) {
 
   const checker::CheckerStats& stats = wl->checker()->stats();
   EXPECT_EQ(stats.reports_emitted, tiny.capacity());
-  EXPECT_GT(stats.reports_dropped, 0u);
+  EXPECT_GT(stats.reports_offered, stats.reports_emitted);
   EXPECT_EQ(stats.reports_emitted, tiny.pushed());
-  EXPECT_EQ(stats.reports_dropped, tiny.dropped());
+  // Conservation: every offer either landed in the queue or is accounted
+  // as a queue drop — exactly once.
+  EXPECT_EQ(stats.reports_offered - stats.reports_emitted, tiny.dropped());
+  // The queue attributed every drop to the emitting shard's counter.
+  EXPECT_EQ(shard_drops.value() - shard_drops_before, tiny.dropped());
 
   std::vector<Report> out;
   tiny.drain(out);
