@@ -114,6 +114,12 @@ int main() {
   control::RolloutConfig rcfg;
   rcfg.stage_fractions = {0.25, 1.0};
   rcfg.observe_ops = kWindowOps;
+  // Over a 64-op window p99 is effectively the max, so one scheduler
+  // preemption inside a ~100 ns check inflates the candidate/active ratio
+  // by orders of magnitude. The violation and would-block guardrails are
+  // what this bench exercises; keep the latency cap only as a gross-
+  // pathology backstop so CI load cannot flake the promotion.
+  rcfg.thresholds.max_latency_ratio = 200.0;
 
   const auto t0 = std::chrono::steady_clock::now();
   const control::RolloutOutcome outcome =

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       std::printf("=== seed 0x%llx, policy %s: %llu faults across %llu "
                   "devices ===\n",
                   static_cast<unsigned long long>(seed),
-                  checker::failure_policy_name(policy).c_str(),
+                  std::string(checker::failure_policy_name(policy)).c_str(),
                   static_cast<unsigned long long>(total.injected),
                   static_cast<unsigned long long>(result.devices_run));
       std::printf("%s", result.describe().c_str());

@@ -1,23 +1,12 @@
 #include "checker/checker.h"
 
-#include <algorithm>
-#include <sstream>
-
+#include "checker/engine/engine.h"
 #include "common/log.h"
-#include "expr/eval.h"
 #include "obs/trace.h"
 
 namespace sedspec::checker {
 
-using sedspec::EvalCtx;
-using sedspec::EvalDiag;
-using sedspec::ExprRef;
-using sedspec::Stmt;
-using sedspec::StmtKind;
-using spec::CondDir;
-using spec::EsBlock;
-
-std::string strategy_name(Strategy s) {
+std::string_view strategy_name(Strategy s) {
   switch (s) {
     case Strategy::kParameter:
       return "parameter check";
@@ -41,12 +30,24 @@ Severity severity_of(Strategy s) {
   return Severity::kWarning;
 }
 
-std::string failure_policy_name(FailurePolicy p) {
+std::string_view failure_policy_name(FailurePolicy p) {
   switch (p) {
     case FailurePolicy::kFailClosed:
       return "fail-closed";
     case FailurePolicy::kFailOpen:
       return "fail-open";
+  }
+  return "?";
+}
+
+std::string_view engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kDefault:
+      return "default";
+    case EngineKind::kInterpreter:
+      return "interpreter";
+    case EngineKind::kBytecode:
+      return "bytecode";
   }
   return "?";
 }
@@ -81,7 +82,7 @@ void CheckerStats::merge(const CheckerStats& other) {
   redeploy_retries += other.redeploy_retries;
 }
 
-std::string report_kind_name(Report::Kind k) {
+std::string_view report_kind_name(Report::Kind k) {
   switch (k) {
     case Report::Kind::kViolation:
       return "violation";
@@ -149,7 +150,7 @@ void publish_checker_stats(obs::MetricsRegistry& registry,
   set("checker_redeploy_retries", stats.redeploy_retries);
 }
 
-std::string severity_name(Severity s) {
+std::string_view severity_name(Severity s) {
   switch (s) {
     case Severity::kCritical:
       return "critical";
@@ -171,10 +172,11 @@ bool CheckResult::any(Strategy s) const {
 }
 
 EsChecker::EsChecker(const spec::EsCfg* cfg, Device* device,
-                     CheckerConfig config)
+                     CheckerConfig config, CheckerHooks hooks)
     : cfg_(cfg),
       device_(device),
-      config_(config),
+      config_(std::move(config)),
+      hooks_(std::move(hooks)),
       shadow_(&device->program().layout()) {
   SEDSPEC_REQUIRE(cfg != nullptr && device != nullptr);
   SEDSPEC_REQUIRE_MSG(cfg->device_name == device->program().device_name(),
@@ -186,7 +188,8 @@ EsChecker::EsChecker(const spec::EsCfg* cfg, Device* device,
                   {"strategies", strategy_set_name(config_)}}));
   violations_counter_ = &obs::metrics().counter(
       "checker_violations_total", obs::label({{"device", metrics_label()}}));
-  build_aux();
+  engine_kind_ = engine::resolve_engine(config_.engine);
+  engine_ = engine::make_engine(cfg_, device_, &shadow_, &config_);
   if (config_.rollback_on_violation) {
     checkpoint_ = std::make_unique<sedspec::StateArena>(
         &device->program().layout());
@@ -205,30 +208,28 @@ const spec::EsCfg* cfg_of(const spec::SnapshotRef& snapshot) {
 }  // namespace
 
 EsChecker::EsChecker(spec::SnapshotRef snapshot, Device* device,
-                     CheckerConfig config)
-    : EsChecker(cfg_of(snapshot), device, std::move(config)) {
+                     CheckerConfig config, CheckerHooks hooks)
+    : EsChecker(cfg_of(snapshot), device, std::move(config),
+                std::move(hooks)) {
   snapshot_ = std::move(snapshot);
 }
+
+EsChecker::~EsChecker() = default;
 
 const std::string& EsChecker::metrics_label() const {
   return config_.metrics_label.empty() ? cfg_->device_name
                                        : config_.metrics_label;
 }
 
-void EsChecker::set_report_sink(ReportSink* sink, uint32_t shard_id) {
-  report_sink_ = sink;
-  shard_id_ = shard_id;
-}
-
 void EsChecker::emit_report(Report::Kind kind, Strategy strategy, SiteId site,
                             uint64_t value) {
-  if (report_sink_ == nullptr) {
+  if (hooks_.report_sink == nullptr) {
     return;
   }
   Report r;
   r.kind = kind;
   r.strategy = strategy;
-  r.shard = shard_id_;
+  r.shard = hooks_.shard_id;
   r.site = site;
   r.seq = report_seq_++;
   r.value = value;
@@ -237,421 +238,32 @@ void EsChecker::emit_report(Report::Kind kind, Strategy strategy, SiteId site,
   // its own rejections (single source of truth, attributed per shard); we
   // only track offered vs accepted so drops stay derivable per checker.
   ++stats_.reports_offered;
-  if (report_sink_->offer(r)) {
+  if (hooks_.report_sink->offer(r)) {
     ++stats_.reports_emitted;
   }
 }
 
 void EsChecker::resync() {
   shadow_.copy_from(device_->state());
-  active_cmd_.reset();
+  engine_->set_active_command(std::nullopt);
 }
 
 bool EsChecker::strategy_enabled(Strategy s) const {
-  switch (s) {
-    case Strategy::kParameter:
-      return config_.enable_parameter;
-    case Strategy::kIndirectJump:
-      return config_.enable_indirect;
-    case Strategy::kConditionalJump:
-      return config_.enable_conditional;
-  }
-  return false;
-}
-
-bool EsChecker::index_is_state_derived(const ExprRef& e) const {
-  if (e == nullptr) {
-    return false;
-  }
-  bool has_param = false;
-  bool has_sync_local = false;
-  sedspec::visit(*e, [&](const sedspec::Expr& n) {
-    if (n.kind == sedspec::ExprKind::kParam ||
-        n.kind == sedspec::ExprKind::kBufLoad) {
-      if (cfg_->is_param(n.param)) {
-        has_param = true;
-      }
-    } else if (n.kind == sedspec::ExprKind::kLocal) {
-      if (cfg_->sync_locals.contains(n.local)) {
-        has_sync_local = true;
-      }
-    }
-  });
-  return has_param && !has_sync_local;
-}
-
-void EsChecker::build_aux() {
-  const size_t site_count = device_->program().site_count();
-  aux_.assign(site_count, BlockAux{});
-  visits_.assign(site_count, 0);
-  visit_epoch_.assign(site_count, 0);
-
-  auto collect_syncs = [&](const ExprRef& e, std::vector<LocalId>* out) {
-    if (e == nullptr) {
-      return;
-    }
-    sedspec::visit(*e, [&](const sedspec::Expr& n) {
-      if (n.kind == sedspec::ExprKind::kLocal &&
-          cfg_->sync_locals.contains(n.local) &&
-          std::find(out->begin(), out->end(), n.local) == out->end()) {
-        out->push_back(n.local);
-      }
-    });
-  };
-
-  for (const auto& [site, block] : cfg_->blocks) {
-    SEDSPEC_REQUIRE(site < site_count);
-    BlockAux& aux = aux_[site];
-    aux.block = &block;
-    aux.visit_bound =
-        std::max<uint64_t>(config_.visit_slack_min,
-                           block.max_visits_per_round *
-                               config_.visit_slack_multiplier);
-    for (const Stmt& s : block.dsod) {
-      collect_syncs(s.value, &aux.syncs);
-      collect_syncs(s.index, &aux.syncs);
-      collect_syncs(s.count, &aux.syncs);
-      // The paper's parameter check bounds-validates a buffer access only
-      // when "a device state index parameter is used" (§VI-A). A store
-      // through a non-state temporary is applied to the shadow (modeling
-      // the corruption) but not flagged — that is the documented
-      // CVE-2015-7504 blind spot covered by the indirect-jump check.
-      bool bounds = false;
-      if (s.kind == StmtKind::kBufStore) {
-        bounds = index_is_state_derived(s.index);
-      } else if (s.kind == StmtKind::kBufFill) {
-        bounds = index_is_state_derived(s.index) ||
-                 index_is_state_derived(s.count);
-      }
-      aux.stmt_bounds.push_back(bounds ? 1 : 0);
-    }
-    collect_syncs(block.guard, &aux.syncs);
-    collect_syncs(block.cmd_expr, &aux.syncs);
-  }
-
-  // Specs arrive from untrusted persistence: every transition target must
-  // resolve to a real block, or traversal would land on a null aux entry.
-  // SEDSPEC_REQUIRE throws logic_error, which deploy_serialized converts
-  // into a kMalformed load rejection.
-  const auto require_block = [&](SiteId site) {
-    SEDSPEC_REQUIRE(site < site_count && aux_[site].block != nullptr);
-  };
-  const auto require_dir = [&](const spec::CondDir& d) {
-    if (d.observed && !d.ends) {
-      require_block(d.succ);
-    }
-  };
-  for (const auto& [key, entry] : cfg_->entry_dispatch) {
-    if (entry != sedspec::kInvalidSite) {
-      require_block(entry);
-    }
-  }
-  for (const auto& [site, block] : cfg_->blocks) {
-    if (block.has_succ && !block.ends) {
-      require_block(block.succ);
-    }
-    require_dir(block.taken);
-    require_dir(block.not_taken);
-    for (const auto& [cmd, dir] : block.cmd_dispatch) {
-      require_dir(dir);
-    }
-  }
-
-  entries_.assign(cfg_->entry_dispatch.begin(), cfg_->entry_dispatch.end());
-}
-
-void EsChecker::resolve_syncs(const BlockAux& aux, const IoAccess& io) {
-  // Sync points (paper §V-D): pause the simulation, read the variable's
-  // current value from the device (against the shadow state, so loop-
-  // carried locals resolve per encounter), then resume.
-  for (sedspec::LocalId l : aux.syncs) {
-    if (auto v = device_->resolve_sync(l, io, shadow_); v.has_value()) {
-      shadow_.set_local(l, *v);
-    }
-  }
-}
-
-struct EsChecker::Traversal {
-  const IoAccess* io = nullptr;
-  std::vector<Violation> violations;
-  SiteId current = sedspec::kInvalidSite;
-  bool stop = false;  // successor unknown: traversal cannot continue
-  uint64_t steps = 0;
-
-  void add(Strategy s, SiteId site, std::string detail) {
-    violations.push_back(Violation{s, site, std::move(detail)});
-  }
-};
-
-void EsChecker::exec_dsod(const BlockAux& aux, Traversal& t) {
-  const EsBlock& block = *aux.block;
-  for (size_t i = 0; i < block.dsod.size(); ++i) {
-    const Stmt& s = block.dsod[i];
-    EvalDiag diag;
-    EvalCtx ctx;
-    ctx.state = &shadow_;
-    ctx.io = t.io;
-    ctx.checked = true;
-    ctx.diag = &diag;
-    switch (s.kind) {
-      case StmtKind::kAssignParam: {
-        const uint64_t v = eval_expr(*s.value, ctx);
-        shadow_.set_param(s.param, v);
-        break;
-      }
-      case StmtKind::kAssignLocal: {
-        const uint64_t v = eval_expr(*s.value, ctx);
-        shadow_.set_local(s.local, v);
-        break;
-      }
-      case StmtKind::kBufStore: {
-        const uint64_t idx = eval_expr(*s.index, ctx);
-        const uint64_t val = eval_expr(*s.value, ctx);
-        shadow_.buf_store(s.param, idx, val,
-                          aux.stmt_bounds[i] != 0 ? &diag : nullptr);
-        break;
-      }
-      case StmtKind::kBufFill: {
-        const uint64_t idx = eval_expr(*s.index, ctx);
-        const uint64_t count = eval_expr(*s.count, ctx);
-        shadow_.buf_fill(s.param, idx, count,
-                         aux.stmt_bounds[i] != 0 ? &diag : nullptr);
-        break;
-      }
-    }
-    if (!diag.any()) {
-      continue;
-    }
-    if (diag.note.empty()) {
-      diag.note = s.note;
-    }
-    if (diag.kind == EvalDiag::Kind::kMissingLocal) {
-      // The simulation could not resolve a sync variable: the spec cannot
-      // follow this path. Reported under the conditional-jump strategy.
-      if (strategy_enabled(Strategy::kConditionalJump)) {
-        t.add(Strategy::kConditionalJump, block.site,
-              "unresolved sync variable: " + diag.describe());
-      }
-    } else if (strategy_enabled(Strategy::kParameter)) {
-      t.add(Strategy::kParameter, block.site, diag.describe());
-    }
-  }
+  return engine::strategy_enabled(config_, s);
 }
 
 CheckResult EsChecker::check(const IoAccess& io) {
-  CheckResult result;
-  Traversal t;
-  t.io = &io;
-
-  // Per-step events are high-frequency; only a verbose tracer records them.
-  obs::EventTracer* tr = obs::tracer();
-  const bool step_events = tr != nullptr && tr->verbose();
-
   shadow_.clear_locals();
-  ++epoch_;
-
+  engine::RoundOptions opts;
   // Fault-injection seam: model an internal checker malfunction this round.
-  InternalFault fault;
-  if (fault_hook_) {
-    fault = fault_hook_(shadow_);
+  if (hooks_.fault_hook) {
+    const InternalFault fault = hooks_.fault_hook(shadow_);
     if (fault.throw_in_traversal) {
       throw CheckerFault("injected traversal fault");
     }
+    opts.suppress_termination = fault.suppress_termination;
   }
-  // The watchdog must sit strictly above the policy budget, or it would
-  // preempt the ordinary (violation-producing) budget check.
-  const uint64_t watchdog =
-      std::max(config_.watchdog_steps, config_.max_steps + 1);
-
-  // Entry dispatch (paper §V-A: the entry block parses the target
-  // address/port of the I/O request).
-  const sedspec::IoKey key = sedspec::key_of(io);
-  SiteId entry = sedspec::kInvalidSite;
-  bool have_entry = false;
-  for (const auto& [k, site] : entries_) {
-    if (k == key) {
-      entry = site;
-      have_entry = true;
-      break;
-    }
-  }
-  if (!have_entry) {
-    if (strategy_enabled(Strategy::kConditionalJump)) {
-      std::ostringstream detail;
-      detail << "untrained I/O access: "
-             << (io.space == sedspec::IoSpace::kPio ? "pio" : "mmio") << " 0x"
-             << std::hex << io.addr << (io.is_write ? " write" : " read");
-      t.add(Strategy::kConditionalJump, sedspec::kInvalidSite, detail.str());
-    }
-    result.violations = std::move(t.violations);
-    return result;
-  }
-  t.current = entry;
-
-  while (!t.stop && t.current != sedspec::kInvalidSite) {
-    ++t.steps;
-    if (t.steps > watchdog) {
-      // Hard backstop: the ordinary budget check below should have ended
-      // this round long ago. Reaching here means the termination logic
-      // itself is broken — escalate into the containment domain.
-      throw CheckerFault("traversal watchdog tripped after " +
-                         std::to_string(t.steps) + " steps");
-    }
-    if (t.steps > config_.max_steps && !fault.suppress_termination) {
-      if (strategy_enabled(Strategy::kConditionalJump)) {
-        t.add(Strategy::kConditionalJump, t.current,
-              "traversal budget exceeded");
-      }
-      break;
-    }
-    const BlockAux& aux = aux_[t.current];
-    if (aux.block == nullptr) {
-      // Belt and braces under build_aux()'s load-time validation: never
-      // dereference an unmapped site, contain it instead.
-      throw CheckerFault("traversal reached unmapped site " +
-                         std::to_string(t.current));
-    }
-    const EsBlock& block = *aux.block;
-    if (step_events) {
-      tr->record(obs::EventType::kTraversalStep, "traversal_step",
-                 cfg_->device_name, block.name, t.current);
-    }
-
-    // Per-round visit bound (trained loop shape).
-    if (visit_epoch_[t.current] != epoch_) {
-      visit_epoch_[t.current] = epoch_;
-      visits_[t.current] = 0;
-    }
-    if (++visits_[t.current] > aux.visit_bound &&
-        !fault.suppress_termination) {
-      if (strategy_enabled(Strategy::kConditionalJump)) {
-        std::ostringstream detail;
-        detail << "block '" << block.name << "' visited "
-               << visits_[t.current] << " times in one round (trained max "
-               << block.max_visits_per_round << ")";
-        t.add(Strategy::kConditionalJump, t.current, detail.str());
-      }
-      break;
-    }
-
-    if (!aux.syncs.empty()) {
-      resolve_syncs(aux, io);
-    }
-
-    // Command access control table.
-    if (active_cmd_.has_value() &&
-        strategy_enabled(Strategy::kConditionalJump)) {
-      const auto cmd_it = cfg_->commands.find(*active_cmd_);
-      if (cmd_it != cfg_->commands.end() &&
-          !cmd_it->second.access.contains(t.current)) {
-        std::ostringstream detail;
-        detail << "block '" << block.name
-               << "' not accessible under command 0x" << std::hex
-               << *active_cmd_;
-        t.add(Strategy::kConditionalJump, t.current, detail.str());
-      }
-    }
-
-    exec_dsod(aux, t);
-
-    // Transition.
-    switch (block.kind) {
-      case sedspec::BlockKind::kConditional: {
-        if (block.merged) {
-          t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
-          break;
-        }
-        EvalDiag diag;
-        EvalCtx ctx;
-        ctx.state = &shadow_;
-        ctx.io = t.io;
-        ctx.checked = true;
-        ctx.diag = &diag;
-        const bool taken = eval_expr(*block.guard, ctx) != 0;
-        if (diag.any()) {
-          if (diag.kind == EvalDiag::Kind::kMissingLocal) {
-            if (strategy_enabled(Strategy::kConditionalJump)) {
-              t.add(Strategy::kConditionalJump, block.site,
-                    "unresolved sync variable in guard");
-            }
-          } else if (strategy_enabled(Strategy::kParameter)) {
-            t.add(Strategy::kParameter, block.site,
-                  "in guard: " + diag.describe());
-          }
-        }
-        const CondDir& dir = taken ? block.taken : block.not_taken;
-        if (!dir.observed) {
-          if (strategy_enabled(Strategy::kConditionalJump)) {
-            t.add(Strategy::kConditionalJump, block.site,
-                  std::string("untrained ") + (taken ? "taken" : "not-taken") +
-                      " direction at '" + block.name + "'");
-          }
-          t.stop = true;
-        } else if (dir.ends) {
-          t.current = sedspec::kInvalidSite;
-        } else {
-          t.current = dir.succ;
-        }
-        break;
-      }
-      case sedspec::BlockKind::kCmdDecision: {
-        EvalDiag diag;
-        EvalCtx ctx;
-        ctx.state = &shadow_;
-        ctx.io = t.io;
-        ctx.checked = true;
-        ctx.diag = &diag;
-        const uint64_t cmd = eval_expr(*block.cmd_expr, ctx);
-        if (diag.any() && diag.kind != EvalDiag::Kind::kMissingLocal &&
-            strategy_enabled(Strategy::kParameter)) {
-          t.add(Strategy::kParameter, block.site,
-                "in command decode: " + diag.describe());
-        }
-        const auto disp = block.cmd_dispatch.find(cmd);
-        if (disp == block.cmd_dispatch.end() || !disp->second.observed) {
-          if (strategy_enabled(Strategy::kConditionalJump)) {
-            std::ostringstream detail;
-            detail << "untrained command 0x" << std::hex << cmd << " at '"
-                   << block.name << "'";
-            t.add(Strategy::kConditionalJump, block.site, detail.str());
-          }
-          t.stop = true;
-          break;
-        }
-        active_cmd_ = cmd;
-        t.current =
-            disp->second.ends ? sedspec::kInvalidSite : disp->second.succ;
-        break;
-      }
-      case sedspec::BlockKind::kIndirect: {
-        const uint64_t target = shadow_.param(block.fp_param);
-        if (strategy_enabled(Strategy::kIndirectJump) &&
-            !block.fp_targets.contains(target)) {
-          std::ostringstream detail;
-          detail << "indirect call at '" << block.name << "' targets 0x"
-                 << std::hex << target
-                 << ", not a trained legitimate function";
-          t.add(Strategy::kIndirectJump, block.site, detail.str());
-        }
-        t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
-        if (!block.has_succ && !block.ends) {
-          t.stop = true;
-        }
-        break;
-      }
-      case sedspec::BlockKind::kCmdEnd:
-        active_cmd_.reset();
-        t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
-        break;
-      case sedspec::BlockKind::kPlain:
-        t.current = block.has_succ ? block.succ : sedspec::kInvalidSite;
-        break;
-    }
-  }
-
-  result.violations = std::move(t.violations);
-  result.steps = t.steps;
-  return result;
+  return engine_->check(io, opts);
 }
 
 bool EsChecker::before_access(Device& device, const IoAccess& io) {
@@ -668,9 +280,9 @@ bool EsChecker::before_access(Device& device, const IoAccess& io) {
       if (obs::EventTracer* tr = obs::tracer()) {
         tr->record(obs::EventType::kSelfHeal, "self_heal", cfg_->device_name);
       }
-      if (local_tracer_ != nullptr) {
-        local_tracer_->record(obs::EventType::kSelfHeal, "self_heal",
-                              cfg_->device_name);
+      if (hooks_.local_tracer != nullptr) {
+        hooks_.local_tracer->record(obs::EventType::kSelfHeal, "self_heal",
+                                    cfg_->device_name);
       }
       // Fall through: this round is checked again.
     } else {
@@ -715,10 +327,10 @@ bool EsChecker::contain_fault(Device& device, const std::string& what,
       tr->record(obs::EventType::kQuarantine, "quarantine", cfg_->device_name,
                  failure_policy_name(config_.failure_policy));
     }
-    if (local_tracer_ != nullptr) {
-      local_tracer_->record(obs::EventType::kQuarantine, "quarantine",
-                            cfg_->device_name,
-                            failure_policy_name(config_.failure_policy));
+    if (hooks_.local_tracer != nullptr) {
+      hooks_.local_tracer->record(obs::EventType::kQuarantine, "quarantine",
+                                  cfg_->device_name,
+                                  failure_policy_name(config_.failure_policy));
     }
     device.reset();
     resync();
@@ -746,7 +358,7 @@ bool EsChecker::contain_fault(Device& device, const std::string& what,
 }
 
 bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
-  const std::optional<uint64_t> saved_cmd = active_cmd_;
+  const std::optional<uint64_t> saved_cmd = engine_->active_command();
   // Latency probe: gated on the global timing switch so the untimed hot
   // path pays one relaxed load, no clock reads.
   const bool timed = obs::timing_enabled();
@@ -762,10 +374,10 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
   // Flight-recorder ring: one fixed-cost event per checked round so an
   // incident bundle carries the last-K rounds of context (address + step
   // count identify what the guest was driving).
-  if (local_tracer_ != nullptr) {
-    local_tracer_->record(obs::EventType::kIoAccess,
-                          io.is_write ? "io_write" : "io_read",
-                          cfg_->device_name, {}, io.addr, last_.steps);
+  if (hooks_.local_tracer != nullptr) {
+    hooks_.local_tracer->record(obs::EventType::kIoAccess,
+                                io.is_write ? "io_write" : "io_read",
+                                cfg_->device_name, {}, io.addr, last_.steps);
   }
   for (const Violation& v : last_.violations) {
     ++stats_.violations_by_strategy[static_cast<int>(v.strategy)];
@@ -781,11 +393,11 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
                    strategy_name(v.strategy), v.site);
       }
     }
-    if (local_tracer_ != nullptr) {
+    if (hooks_.local_tracer != nullptr) {
       for (const Violation& v : last_.violations) {
-        local_tracer_->record(obs::EventType::kViolation, "violation",
-                              cfg_->device_name, strategy_name(v.strategy),
-                              v.site);
+        hooks_.local_tracer->record(obs::EventType::kViolation, "violation",
+                                    cfg_->device_name,
+                                    strategy_name(v.strategy), v.site);
       }
     }
   }
@@ -829,9 +441,10 @@ bool EsChecker::guarded_before_access(Device& device, const IoAccess& io) {
     // device.
     shadow_.copy_from(device.state());
     if (config_.rollback_on_violation) {
-      active_cmd_.reset();  // the checkpoint predates the current command
+      // The checkpoint predates the current command.
+      engine_->set_active_command(std::nullopt);
     } else {
-      active_cmd_ = saved_cmd;
+      engine_->set_active_command(saved_cmd);
     }
     log_warn("checker") << cfg_->device_name << ": blocked I/O — "
                         << last_.violations.front().detail;
@@ -862,7 +475,7 @@ void EsChecker::after_access(Device& device, const IoAccess& /*io*/) {
       shadow_.copy_from(device.state());
       // The warned-about round may have left command tracking stale; drop it
       // so one warning cannot cascade into access-table false positives.
-      active_cmd_.reset();
+      engine_->set_active_command(std::nullopt);
       pending_resync_ = false;
     }
   } catch (const std::exception& e) {

@@ -38,6 +38,11 @@
 // containment boundary: any exception raised inside the checking path is
 // caught, counted in CheckerStats, and resolved by the configured
 // FailurePolicy. No exception ever escapes the proxy interface.
+//
+// Check backends (DESIGN.md §12): the traversal round itself is delegated
+// to a pluggable engine::CheckEngine — the tree-walking interpreter or the
+// compiled bytecode VM — selected by CheckerConfig::engine. Everything in
+// this header is engine-agnostic.
 #pragma once
 
 #include <functional>
@@ -45,6 +50,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -59,6 +65,10 @@ class EventTracer;
 
 namespace sedspec::checker {
 
+namespace engine {
+class CheckEngine;
+}  // namespace engine
+
 using sedspec::Device;
 using sedspec::IoAccess;
 using sedspec::SiteId;
@@ -69,7 +79,7 @@ enum class Strategy : uint8_t {
   kConditionalJump = 2,
 };
 
-[[nodiscard]] std::string strategy_name(Strategy s);
+[[nodiscard]] std::string_view strategy_name(Strategy s);
 
 /// Alert severity per strategy (paper §VIII future work: "classify the
 /// alert levels based on different check strategies"). Parameter-check
@@ -80,9 +90,19 @@ enum class Strategy : uint8_t {
 enum class Severity : uint8_t { kCritical = 0, kHigh = 1, kWarning = 2 };
 
 [[nodiscard]] Severity severity_of(Strategy s);
-[[nodiscard]] std::string severity_name(Severity s);
+[[nodiscard]] std::string_view severity_name(Severity s);
 
 enum class Mode : uint8_t { kProtection, kEnhancement };
+
+/// Which check backend a checker deploys (see checker/engine/engine.h).
+/// kDefault resolves through engine::default_engine() at construction.
+enum class EngineKind : uint8_t {
+  kDefault = 0,
+  kInterpreter = 1,
+  kBytecode = 2,
+};
+
+[[nodiscard]] std::string_view engine_kind_name(EngineKind k);
 
 /// How a contained internal checker fault degrades the deployment.
 ///   kFailClosed — block the access, quarantine the device (reset it to
@@ -95,7 +115,7 @@ enum class Mode : uint8_t { kProtection, kEnhancement };
 ///                 available; protection lapses until the re-attach sticks.
 enum class FailurePolicy : uint8_t { kFailClosed = 0, kFailOpen = 1 };
 
-[[nodiscard]] std::string failure_policy_name(FailurePolicy p);
+[[nodiscard]] std::string_view failure_policy_name(FailurePolicy p);
 
 /// Internal checker malfunction (tripped watchdog, injected fault, ...).
 /// Raised inside the checking path and resolved by the containment layer;
@@ -136,7 +156,7 @@ struct Report {
   uint64_t value = 0;  // kind-specific (spec version on kRedeploy)
 };
 
-[[nodiscard]] std::string report_kind_name(Report::Kind k);
+[[nodiscard]] std::string_view report_kind_name(Report::Kind k);
 
 /// Where the checker ships reports. Implementations must be safe to call
 /// from many shard threads concurrently and must never block: offer()
@@ -169,6 +189,10 @@ struct CheckerConfig {
   bool enable_parameter = true;
   bool enable_indirect = true;
   bool enable_conditional = true;
+
+  /// Check backend. kDefault resolves through the process-wide
+  /// engine::default_engine() knob (ships as kBytecode).
+  EngineKind engine = EngineKind::kDefault;
 
   /// Per-round visit bound = max(slack_min, trained_max * slack_multiplier).
   uint64_t visit_slack_multiplier = 8;
@@ -268,12 +292,44 @@ void publish_checker_stats(obs::MetricsRegistry& registry,
                            const std::string& device_label,
                            const CheckerStats& stats);
 
+/// Fault-injection seam (faultinject layer 4): consulted once per checked
+/// round with the shadow arena (so a hook can corrupt shadow state
+/// mid-round). The returned flags model internal checker bugs.
+struct InternalFault {
+  bool throw_in_traversal = false;  // forced traversal exception
+  bool suppress_termination = false;  // break budget/visit-bound checks;
+                                      // only the watchdog can stop the round
+};
+using FaultHook = std::function<InternalFault(sedspec::StateArena& shadow)>;
+
+/// Everything a deployment attaches to a checker, in one struct: the report
+/// sink (+ producer shard id), the per-shard flight-recorder ring, and the
+/// fault-injection hook. Accepted at construction and via attach(); the
+/// legacy per-field setters delegate here. All pointers are borrowed and
+/// must outlive the checker; value-initialized CheckerHooks{} detaches
+/// everything.
+struct CheckerHooks {
+  /// Violation/containment report destination (nullptr = detached). See
+  /// ReportSink for the drop-accounting contract.
+  ReportSink* report_sink = nullptr;
+  /// Producer shard id stamped into every emitted Report.
+  uint32_t shard_id = 0;
+  /// Per-shard flight-recorder ring (see obs/flight.h): when set, every
+  /// checked round records a fixed-cost kIoAccess event (a = address,
+  /// b = traversal steps) and violation/quarantine/self-heal events into
+  /// it, giving incident bundles the last-K-rounds context.
+  obs::EventTracer* local_tracer = nullptr;
+  /// Consulted once per checked round (see InternalFault).
+  FaultHook fault_hook;
+};
+
 class EsChecker final : public sedspec::IoProxy {
  public:
   /// Attaches to `device`: the shadow state is initialized from the
   /// device's control structure (paper §V-A: "initialized with the values
   /// from the emulated device control structure upon booting").
-  EsChecker(const spec::EsCfg* cfg, Device* device, CheckerConfig config = {});
+  EsChecker(const spec::EsCfg* cfg, Device* device, CheckerConfig config = {},
+            CheckerHooks hooks = {});
 
   /// Snapshot-pinning attach (concurrency layer): the checker keeps the
   /// SpecStore snapshot alive for its own lifetime, so a concurrent
@@ -281,7 +337,9 @@ class EsChecker final : public sedspec::IoProxy {
   /// traversing. Redeploy = construct a new checker from the new snapshot
   /// and swap proxies between rounds.
   EsChecker(spec::SnapshotRef snapshot, Device* device,
-            CheckerConfig config = {});
+            CheckerConfig config = {}, CheckerHooks hooks = {});
+
+  ~EsChecker() override;
 
   // IoProxy -------------------------------------------------------------
   // Containment boundary: no exception raised by the checking path escapes
@@ -310,6 +368,11 @@ class EsChecker final : public sedspec::IoProxy {
   [[nodiscard]] const CheckerConfig& config() const { return config_; }
   void set_mode(Mode mode) { config_.mode = mode; }
 
+  /// The resolved check backend this deployment runs (never kDefault).
+  [[nodiscard]] EngineKind engine_kind() const { return engine_kind_; }
+  /// The live engine (differential tests / diagnostics).
+  [[nodiscard]] engine::CheckEngine& engine() { return *engine_; }
+
   /// True while the checker serves rounds unprotected after a fail-open
   /// containment, waiting for the next self-heal attempt.
   [[nodiscard]] bool degraded() const { return degraded_; }
@@ -322,60 +385,39 @@ class EsChecker final : public sedspec::IoProxy {
     return snapshot_;
   }
 
-  /// Ships violation/containment reports to `sink` tagged with `shard_id`
-  /// (see Report). nullptr detaches. The sink owns drop accounting
-  /// (ReportQueue counts rejections and attributes them per shard via
-  /// `report_queue_dropped_total{shard=...}`); this checker only counts
-  /// offers attempted (stats().reports_offered) and accepted
-  /// (stats().reports_emitted).
-  void set_report_sink(ReportSink* sink, uint32_t shard_id = 0);
+  /// Replaces ALL attachments at once (the redesigned attachment API).
+  /// attach(CheckerHooks{}) detaches everything.
+  void attach(CheckerHooks hooks) { hooks_ = std::move(hooks); }
+  [[nodiscard]] const CheckerHooks& hooks() const { return hooks_; }
 
-  /// Attaches a per-shard flight-recorder ring (see obs/flight.h): when
-  /// set, every checked round records a fixed-cost kIoAccess event
-  /// (a = address, b = traversal steps) and violation/quarantine/self-heal
-  /// events into it, giving incident bundles the last-K-rounds context.
-  /// nullptr (default) detaches. The tracer must outlive the checker.
-  void set_local_tracer(obs::EventTracer* tracer) { local_tracer_ = tracer; }
-  [[nodiscard]] obs::EventTracer* local_tracer() const {
-    return local_tracer_;
+  // Legacy per-field setters: thin wrappers over attach()'s hooks struct,
+  // kept so call sites can migrate incrementally.
+  void set_report_sink(ReportSink* sink, uint32_t shard_id = 0) {
+    hooks_.report_sink = sink;
+    hooks_.shard_id = shard_id;
   }
+  void set_local_tracer(obs::EventTracer* tracer) {
+    hooks_.local_tracer = tracer;
+  }
+  [[nodiscard]] obs::EventTracer* local_tracer() const {
+    return hooks_.local_tracer;
+  }
+  void set_fault_hook(FaultHook hook) {
+    hooks_.fault_hook = std::move(hook);
+  }
+
+  // Back-compat aliases (the fault seam predates namespace-scope hooks).
+  using InternalFault = checker::InternalFault;
+  using FaultHook = checker::FaultHook;
 
   /// Label used for the `device=` metric dimension (config override or the
   /// spec's device name).
   [[nodiscard]] const std::string& metrics_label() const;
 
-  /// Fault-injection seam (faultinject layer 4): consulted once per checked
-  /// round with the shadow arena (so a hook can corrupt shadow state
-  /// mid-round). The returned flags model internal checker bugs.
-  struct InternalFault {
-    bool throw_in_traversal = false;  // forced traversal exception
-    bool suppress_termination = false;  // break budget/visit-bound checks;
-                                        // only the watchdog can stop the round
-  };
-  using FaultHook = std::function<InternalFault(sedspec::StateArena& shadow)>;
-  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
-
  private:
-  struct Traversal;
-
-  /// Construction-time per-block acceleration data: direct block pointer,
-  /// the sync locals its expressions reference, which DSOD statements get
-  /// buffer-bounds validation (state-derived indices only, §VI-A), and the
-  /// precomputed per-round visit bound.
-  struct BlockAux {
-    const spec::EsBlock* block = nullptr;
-    std::vector<sedspec::LocalId> syncs;
-    std::vector<uint8_t> stmt_bounds;
-    uint64_t visit_bound = 0;
-  };
-
   [[nodiscard]] bool strategy_enabled(Strategy s) const;
   void emit_report(Report::Kind kind, Strategy strategy, SiteId site,
                    uint64_t value = 0);
-  void resolve_syncs(const BlockAux& aux, const IoAccess& io);
-  void exec_dsod(const BlockAux& aux, Traversal& t);
-  [[nodiscard]] bool index_is_state_derived(const sedspec::ExprRef& e) const;
-  void build_aux();
   bool guarded_before_access(Device& device, const IoAccess& io);
   bool contain_fault(Device& device, const std::string& what,
                      bool count_round);
@@ -384,18 +426,14 @@ class EsChecker final : public sedspec::IoProxy {
   spec::SnapshotRef snapshot_;  // pins cfg_ when store-deployed
   Device* device_;
   CheckerConfig config_;
-  ReportSink* report_sink_ = nullptr;
-  obs::EventTracer* local_tracer_ = nullptr;  // flight-recorder shard ring
-  uint32_t shard_id_ = 0;
+  CheckerHooks hooks_;
   uint64_t report_seq_ = 0;
   sedspec::StateArena shadow_;
-  std::optional<uint64_t> active_cmd_;
   CheckerStats stats_;
   CheckResult last_;
   bool pending_resync_ = false;
   bool degraded_ = false;
   uint64_t degraded_rounds_since_heal_ = 0;
-  FaultHook fault_hook_;
   // Resolved once at construction; recording is relaxed-atomic only.
   obs::Histogram* latency_hist_ = nullptr;
   // Live cumulative violation counter (checker_violations_total{device=})
@@ -404,12 +442,9 @@ class EsChecker final : public sedspec::IoProxy {
   // every checker.
   obs::Counter* violations_counter_ = nullptr;
 
-  std::vector<BlockAux> aux_;                           // by SiteId
-  std::vector<std::pair<sedspec::IoKey, SiteId>> entries_;  // flat dispatch
+  EngineKind engine_kind_ = EngineKind::kInterpreter;
+  std::unique_ptr<engine::CheckEngine> engine_;
   std::unique_ptr<sedspec::StateArena> checkpoint_;  // rollback mode only
-  std::vector<uint32_t> visits_;       // by SiteId, epoch-validated
-  std::vector<uint32_t> visit_epoch_;  // by SiteId
-  uint32_t epoch_ = 0;
 };
 
 }  // namespace sedspec::checker

@@ -1,0 +1,2246 @@
+// BytecodeEngine implementation: spec -> flat bytecode compiler, structural
+// verifier, SEBC (de)serializer, and the threaded-code VM.
+//
+// The compiler and VM are written against one contract: observational
+// identity with InterpreterEngine (and therefore expr/eval.cc). Comments
+// below call out each place where eval.cc's exact quirk order is load-
+// bearing; change nothing here without re-running the differential suite.
+#include "checker/engine/bytecode.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/decode.h"
+#include "expr/type.h"
+#include "obs/trace.h"
+#include "vdev/device.h"
+
+namespace sedspec::checker::engine {
+
+bool EdgeSet::contains(uint64_t target) const {
+  switch (kind) {
+    case kEmpty:
+      return false;
+    case kBitmap: {
+      if (target < base) {
+        return false;
+      }
+      const uint64_t off = target - base;
+      const uint64_t word = off >> 6;
+      if (word >= words.size()) {
+        return false;
+      }
+      return ((words[word] >> (off & 63)) & 1) != 0;
+    }
+    default: {  // kSorted (and garbage kinds: empty `sorted` => false)
+      const uint64_t* lo = sorted.data();
+      size_t n = sorted.size();
+      while (n > 1) {
+        const size_t half = n / 2;
+        lo += (lo[half - 1] < target) ? half : 0;
+        n -= half;
+      }
+      return n == 1 && *lo == target;
+    }
+  }
+}
+
+namespace {
+
+using sedspec::Expr;
+using sedspec::ExprKind;
+using sedspec::ExprRef;
+using sedspec::Stmt;
+using sedspec::StmtKind;
+using spec::CondDir;
+using spec::EsBlock;
+
+/// Conservative over-approximation of "evaluating this expression can record
+/// an EvalDiag". Over-approximating is safe (kDiagCheck is a no-op on a
+/// clean diag); under-approximating would drop violations.
+bool expr_can_diag(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+    case ExprKind::kParam:
+    case ExprKind::kIoField:
+      return false;
+    case ExprKind::kLocal:    // kMissingLocal
+    case ExprKind::kBufLoad:  // kBufferOob (and its index subtree)
+      return true;
+    case ExprKind::kUnary:
+      if (e.un_op == sedspec::UnaryOp::kNeg) {
+        return true;  // kIntegerOverflow
+      }
+      return e.lhs != nullptr && expr_can_diag(*e.lhs);
+    case ExprKind::kBinary:
+      switch (e.bin_op) {
+        case sedspec::BinaryOp::kAdd:
+        case sedspec::BinaryOp::kSub:
+        case sedspec::BinaryOp::kMul:
+        case sedspec::BinaryOp::kDiv:
+        case sedspec::BinaryOp::kMod:
+        case sedspec::BinaryOp::kShl:
+        case sedspec::BinaryOp::kShr:
+          return true;
+        default:
+          return (e.lhs != nullptr && expr_can_diag(*e.lhs)) ||
+                 (e.rhs != nullptr && expr_can_diag(*e.rhs));
+      }
+    case ExprKind::kCast:
+      return e.lhs != nullptr && expr_can_diag(*e.lhs);
+  }
+  return true;
+}
+
+/// Eligibility for the kBoundsBatch superinstruction. Batched statements
+/// evaluate ALL index/value expressions before the first store, so the
+/// expressions must be unaffected by the batch's own (in-bounds) buffer
+/// stores and must be unable to raise a diag: scalar params, I/O fields,
+/// constants, and diag-free combinators only.
+bool batch_expr_ok(const ExprRef& e, const sedspec::StateLayout& layout) {
+  if (e == nullptr) {
+    return false;
+  }
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kIoField:
+      return true;
+    case ExprKind::kParam:
+      return e->param < layout.field_count() &&
+             !layout.field(e->param).is_buffer();
+    case ExprKind::kLocal:
+    case ExprKind::kBufLoad:
+      return false;
+    case ExprKind::kUnary:
+      return (e->un_op == sedspec::UnaryOp::kBitNot ||
+              e->un_op == sedspec::UnaryOp::kLogicalNot) &&
+             batch_expr_ok(e->lhs, layout);
+    case ExprKind::kCast:
+      return batch_expr_ok(e->lhs, layout);
+    case ExprKind::kBinary:
+      switch (e->bin_op) {
+        case sedspec::BinaryOp::kAnd:
+        case sedspec::BinaryOp::kOr:
+        case sedspec::BinaryOp::kXor:
+        case sedspec::BinaryOp::kEq:
+        case sedspec::BinaryOp::kNe:
+        case sedspec::BinaryOp::kLt:
+        case sedspec::BinaryOp::kLe:
+        case sedspec::BinaryOp::kGt:
+        case sedspec::BinaryOp::kGe:
+        case sedspec::BinaryOp::kLAnd:
+        case sedspec::BinaryOp::kLOr:
+          return batch_expr_ok(e->lhs, layout) && batch_expr_ok(e->rhs, layout);
+        default:
+          return false;
+      }
+  }
+  return false;
+}
+
+class Compiler {
+ public:
+  Compiler(const spec::EsCfg& cfg, const Device& device,
+           const CheckerConfig& config)
+      : cfg_(cfg),
+        config_(config),
+        layout_(device.program().layout()),
+        site_count_(device.program().site_count()) {}
+
+  std::shared_ptr<const BytecodeProgram> run() {
+    validate();
+    p_.device_name = cfg_.device_name;
+    build_block_meta();
+    build_commands();
+
+    // code[0] is always kEnd: jump target 0 terminates the round, which is
+    // what unobserved/ends transition slots encode.
+    p_.code.push_back(Insn{.op = static_cast<uint8_t>(Op::kEnd)});
+    for (auto it = cfg_.blocks.begin(); it != cfg_.blocks.end(); ++it) {
+      block_pc_[it->first] = static_cast<uint32_t>(p_.code.size());
+      const auto next = std::next(it);
+      next_site_ =
+          next == cfg_.blocks.end() ? sedspec::kInvalidSite : next->first;
+      compile_block(it->second, meta_idx_.at(it->first));
+    }
+    apply_fixups();
+    build_entries();
+
+    p_.reg_count = next_reg_;
+    return std::make_shared<const BytecodeProgram>(std::move(p_));
+  }
+
+ private:
+  enum FixSlot : uint8_t { kSlotC = 0, kSlotImmLo = 1, kSlotImmHi = 2 };
+  struct Fixup {
+    size_t insn = 0;
+    FixSlot slot = kSlotC;
+    SiteId site = sedspec::kInvalidSite;
+  };
+  struct TableFixup {
+    size_t table = 0;
+    size_t entry = 0;
+    SiteId site = sedspec::kInvalidSite;
+  };
+
+  // --- structural validation (parity with InterpreterEngine::build_aux) ---
+
+  void validate() const {
+    const auto require_block = [&](SiteId s) {
+      SEDSPEC_REQUIRE(s < site_count_ && cfg_.blocks.contains(s));
+    };
+    const auto require_dir = [&](const CondDir& d) {
+      if (d.observed && !d.ends) {
+        require_block(d.succ);
+      }
+    };
+    for (const auto& [site, block] : cfg_.blocks) {
+      SEDSPEC_REQUIRE(site < site_count_);
+    }
+    for (const auto& [key, entry] : cfg_.entry_dispatch) {
+      if (entry != sedspec::kInvalidSite) {
+        require_block(entry);
+      }
+    }
+    for (const auto& [site, block] : cfg_.blocks) {
+      if (block.has_succ && !block.ends) {
+        require_block(block.succ);
+      }
+      require_dir(block.taken);
+      require_dir(block.not_taken);
+      for (const auto& [cmd, dir] : block.cmd_dispatch) {
+        require_dir(dir);
+      }
+    }
+  }
+
+  void build_block_meta() {
+    SEDSPEC_REQUIRE(cfg_.blocks.size() <= 0xffff);
+    for (const auto& [site, block] : cfg_.blocks) {
+      meta_idx_[site] = static_cast<uint32_t>(p_.blocks.size());
+      BlockMeta meta;
+      meta.name = block.name;
+      meta.site = site;
+      meta.trained_max = block.max_visits_per_round;
+      meta.visit_bound =
+          std::max<uint64_t>(config_.visit_slack_min,
+                             block.max_visits_per_round *
+                                 config_.visit_slack_multiplier);
+      p_.blocks.push_back(std::move(meta));
+    }
+  }
+
+  void build_commands() {
+    p_.words_per_block =
+        static_cast<uint32_t>((p_.blocks.size() + 63) / 64);
+    for (const auto& [cmd, info] : cfg_.commands) {  // map order => sorted
+      p_.cmd_values.push_back(cmd);
+      const size_t row = p_.access_words.size();
+      p_.access_words.resize(row + p_.words_per_block, 0);
+      for (const SiteId s : info.access) {
+        const auto it = meta_idx_.find(s);
+        if (it == meta_idx_.end()) {
+          continue;  // access entry for a non-block site: never visited
+        }
+        const uint32_t bit = it->second;
+        p_.access_words[row + (bit >> 6)] |= uint64_t{1} << (bit & 63);
+      }
+    }
+  }
+
+  [[nodiscard]] uint32_t access_index_for(uint64_t cmd) const {
+    const auto it =
+        std::lower_bound(p_.cmd_values.begin(), p_.cmd_values.end(), cmd);
+    if (it == p_.cmd_values.end() || *it != cmd) {
+      return kNoAccess;
+    }
+    return static_cast<uint32_t>(it - p_.cmd_values.begin());
+  }
+
+  // --- register allocation ------------------------------------------------
+
+  uint16_t alloc_reg() {
+    if (!free_regs_.empty()) {
+      const uint16_t r = free_regs_.back();
+      free_regs_.pop_back();
+      return r;
+    }
+    SEDSPEC_REQUIRE(next_reg_ < 0xffff);
+    return static_cast<uint16_t>(next_reg_++);
+  }
+  void free_reg(uint16_t r) { free_regs_.push_back(r); }
+
+  size_t emit(Insn ins) {
+    p_.code.push_back(ins);
+    return p_.code.size() - 1;
+  }
+
+  uint32_t intern_note(const std::string& note) {
+    const auto [it, inserted] =
+        note_idx_.try_emplace(note, static_cast<uint32_t>(p_.notes.size()));
+    if (inserted) {
+      p_.notes.push_back(note);
+    }
+    return it->second;
+  }
+
+  uint32_t intern_const(uint64_t v) {
+    const auto [it, inserted] =
+        const_idx_.try_emplace(v, static_cast<uint32_t>(p_.consts.size()));
+    if (inserted) {
+      p_.consts.push_back(v);
+    }
+    return it->second;
+  }
+
+  /// Non-null iff `param` names a valid scalar field whose offset/width fit
+  /// the superinstruction encodings. Anything else keeps the generic ops so
+  /// the arena's runtime REQUIREs fire identically in both engines.
+  const sedspec::FieldDesc* scalar_field(uint16_t param) const {
+    if (param >= layout_.field_count()) {
+      return nullptr;
+    }
+    const sedspec::FieldDesc& f =
+        layout_.field(static_cast<ParamId>(param));
+    if (f.is_buffer() || f.size == 0 || f.size > 8) {
+      return nullptr;
+    }
+    return &f;
+  }
+
+  // --- expression compilation --------------------------------------------
+  // Free-then-alloc register discipline: operand registers are released
+  // before the destination is allocated, so dst may alias an operand. Every
+  // VM opcode reads its operands before writing regs[dst].
+
+  uint16_t compile_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kConst: {
+        const uint16_t r = alloc_reg();
+        emit(Insn{.op = static_cast<uint8_t>(Op::kConst),
+                  .t = static_cast<uint8_t>(e.type),
+                  .dst = r,
+                  .imm = e.const_value});
+        return r;
+      }
+      case ExprKind::kParam: {
+        const uint16_t r = alloc_reg();
+        // Valid scalar params get the offset-resolved superinstruction; the
+        // generic op is kept for ids the arena would reject at runtime so
+        // containment behavior stays engine-identical.
+        if (const sedspec::FieldDesc* f = scalar_field(e.param)) {
+          emit(Insn{.op = static_cast<uint8_t>(Op::kLoadScalar),
+                    .t = static_cast<uint8_t>(e.type),
+                    .dst = r,
+                    .b = static_cast<uint16_t>(f->size),
+                    .c = f->offset});
+        } else {
+          emit(Insn{.op = static_cast<uint8_t>(Op::kLoadParam),
+                    .t = static_cast<uint8_t>(e.type),
+                    .dst = r,
+                    .a = e.param});
+        }
+        return r;
+      }
+      case ExprKind::kLocal: {
+        const uint16_t r = alloc_reg();
+        emit(Insn{.op = static_cast<uint8_t>(Op::kLoadLocal),
+                  .t = static_cast<uint8_t>(e.type),
+                  .dst = r,
+                  .a = e.local});
+        return r;
+      }
+      case ExprKind::kIoField: {
+        const uint16_t r = alloc_reg();
+        emit(Insn{.op = static_cast<uint8_t>(Op::kLoadIo),
+                  .t = static_cast<uint8_t>(e.type),
+                  .dst = r,
+                  .a = static_cast<uint16_t>(e.io_field)});
+        return r;
+      }
+      case ExprKind::kBufLoad: {
+        SEDSPEC_REQUIRE(e.lhs != nullptr);
+        const uint16_t ri = compile_expr(*e.lhs);
+        free_reg(ri);
+        const uint16_t r = alloc_reg();
+        emit(Insn{.op = static_cast<uint8_t>(Op::kBufLoad),
+                  .t = static_cast<uint8_t>(e.type),
+                  .dst = r,
+                  .a = ri,
+                  .b = e.param});
+        return r;
+      }
+      case ExprKind::kUnary: {
+        SEDSPEC_REQUIRE(e.lhs != nullptr);
+        const uint16_t rs = compile_expr(*e.lhs);
+        free_reg(rs);
+        const uint16_t r = alloc_reg();
+        Op op = Op::kNeg;
+        if (e.un_op == sedspec::UnaryOp::kBitNot) {
+          op = Op::kBitNot;
+        } else if (e.un_op == sedspec::UnaryOp::kLogicalNot) {
+          op = Op::kLogNot;
+        }
+        emit(Insn{.op = static_cast<uint8_t>(op),
+                  .t = static_cast<uint8_t>(e.type),
+                  .dst = r,
+                  .a = rs,
+                  .b = static_cast<uint16_t>(e.lhs->type)});
+        return r;
+      }
+      case ExprKind::kBinary: {
+        SEDSPEC_REQUIRE(e.lhs != nullptr && e.rhs != nullptr);
+        const uint16_t rl = compile_expr(*e.lhs);
+        const uint16_t rr = compile_expr(*e.rhs);
+        free_reg(rl);
+        free_reg(rr);
+        const uint16_t r = alloc_reg();
+        // Op::kAdd..kLOr mirrors BinaryOp::kAdd..kLOr exactly.
+        const auto op = static_cast<Op>(
+            static_cast<uint8_t>(Op::kAdd) +
+            (static_cast<uint8_t>(e.bin_op) -
+             static_cast<uint8_t>(sedspec::BinaryOp::kAdd)));
+        emit(Insn{.op = static_cast<uint8_t>(op),
+                  .dst = r,
+                  .a = rl,
+                  .b = rr,
+                  .c = static_cast<uint32_t>(e.type) |
+                       (static_cast<uint32_t>(e.lhs->type) << 8) |
+                       (static_cast<uint32_t>(e.rhs->type) << 16)});
+        return r;
+      }
+      case ExprKind::kCast: {
+        SEDSPEC_REQUIRE(e.lhs != nullptr);
+        const uint16_t rs = compile_expr(*e.lhs);
+        free_reg(rs);
+        const uint16_t r = alloc_reg();
+        emit(Insn{.op = static_cast<uint8_t>(Op::kCast),
+                  .t = static_cast<uint8_t>(e.type),
+                  .dst = r,
+                  .a = rs,
+                  .b = static_cast<uint16_t>(e.lhs->type)});
+        return r;
+      }
+    }
+    SEDSPEC_REQUIRE_MSG(false, "unknown expression kind");
+    return 0;
+  }
+
+  // --- statement compilation ---------------------------------------------
+
+  void compile_stmt(const Stmt& s, bool bounds, uint32_t meta) {
+    bool can_diag = bounds;
+    switch (s.kind) {
+      case StmtKind::kAssignParam: {
+        SEDSPEC_REQUIRE(s.value != nullptr);
+        const sedspec::FieldDesc* f = scalar_field(s.param);
+        if (f != nullptr && s.value->kind == ExprKind::kConst) {
+          // Constant DSOD store: fold the whole statement into one insn with
+          // the set_param() truncation applied at compile time.
+          emit(Insn{.op = static_cast<uint8_t>(Op::kStoreScalarImm),
+                    .t = static_cast<uint8_t>(f->type),
+                    .b = static_cast<uint16_t>(f->size),
+                    .c = f->offset,
+                    .imm = sedspec::truncate_to(f->type,
+                                                s.value->const_value)});
+          break;  // kConst can never diag
+        }
+        const uint16_t r = compile_expr(*s.value);
+        if (f != nullptr) {
+          emit(Insn{.op = static_cast<uint8_t>(Op::kStoreScalar),
+                    .t = static_cast<uint8_t>(f->type),
+                    .a = r,
+                    .b = static_cast<uint16_t>(f->size),
+                    .c = f->offset});
+        } else {
+          emit(Insn{.op = static_cast<uint8_t>(Op::kStoreParam),
+                    .a = r,
+                    .b = s.param});
+        }
+        free_reg(r);
+        can_diag = can_diag || expr_can_diag(*s.value);
+        break;
+      }
+      case StmtKind::kAssignLocal: {
+        SEDSPEC_REQUIRE(s.value != nullptr);
+        const uint16_t r = compile_expr(*s.value);
+        emit(Insn{.op = static_cast<uint8_t>(Op::kStoreLocal),
+                  .a = r,
+                  .b = s.local});
+        free_reg(r);
+        can_diag = can_diag || expr_can_diag(*s.value);
+        break;
+      }
+      case StmtKind::kBufStore: {
+        SEDSPEC_REQUIRE(s.index != nullptr && s.value != nullptr);
+        const uint16_t ri = compile_expr(*s.index);
+        const uint16_t rv = compile_expr(*s.value);
+        emit(Insn{.op = static_cast<uint8_t>(Op::kBufStore),
+                  .t = bounds ? uint8_t{1} : uint8_t{0},
+                  .dst = rv,
+                  .a = ri,
+                  .b = s.param});
+        free_reg(ri);
+        free_reg(rv);
+        can_diag =
+            can_diag || expr_can_diag(*s.index) || expr_can_diag(*s.value);
+        break;
+      }
+      case StmtKind::kBufFill: {
+        SEDSPEC_REQUIRE(s.index != nullptr && s.count != nullptr);
+        const uint16_t ri = compile_expr(*s.index);
+        const uint16_t rc = compile_expr(*s.count);
+        emit(Insn{.op = static_cast<uint8_t>(Op::kBufFill),
+                  .t = bounds ? uint8_t{1} : uint8_t{0},
+                  .dst = rc,
+                  .a = ri,
+                  .b = s.param});
+        free_reg(ri);
+        free_reg(rc);
+        can_diag =
+            can_diag || expr_can_diag(*s.index) || expr_can_diag(*s.count);
+        break;
+      }
+    }
+    if (can_diag) {
+      emit(Insn{.op = static_cast<uint8_t>(Op::kDiagCheck),
+                .b = static_cast<uint16_t>(meta),
+                .c = intern_note(s.note)});
+    }
+  }
+
+  /// True if statement `i` can open (or extend) a kBoundsBatch run.
+  [[nodiscard]] bool batch_eligible(const EsBlock& block,
+                                    const std::vector<uint8_t>& bounds,
+                                    size_t i) const {
+    const Stmt& s = block.dsod[i];
+    return s.kind == StmtKind::kBufStore && bounds[i] != 0 &&
+           s.param < layout_.field_count() &&
+           layout_.field(s.param).is_buffer() &&
+           batch_expr_ok(s.index, layout_) && batch_expr_ok(s.value, layout_);
+  }
+
+  void compile_batch(const EsBlock& block, size_t from, size_t run,
+                     uint32_t meta) {
+    // Evaluate every index/value first (eligible expressions cannot observe
+    // the batch's own in-bounds stores, so hoisting evaluation is sound),
+    // keeping all registers live across the batch.
+    std::vector<std::pair<uint16_t, uint16_t>> regs;
+    regs.reserve(run);
+    for (size_t j = from; j < from + run; ++j) {
+      const Stmt& s = block.dsod[j];
+      const uint16_t ri = compile_expr(*s.index);
+      const uint16_t rv = compile_expr(*s.value);
+      regs.emplace_back(ri, rv);
+    }
+    const size_t pool_off = p_.batch_pool.size();
+    SEDSPEC_REQUIRE(pool_off + run <= 0xffff);
+    for (size_t j = 0; j < run; ++j) {
+      const Stmt& s = block.dsod[from + j];
+      BatchEntry e;
+      e.idx_reg = regs[j].first;
+      e.val_reg = regs[j].second;
+      e.param = s.param;
+      e.limit = layout_.field(s.param).count;
+      p_.batch_pool.push_back(e);
+    }
+    const size_t bidx =
+        emit(Insn{.op = static_cast<uint8_t>(Op::kBoundsBatch),
+                  .a = static_cast<uint16_t>(pool_off),
+                  .b = static_cast<uint16_t>(run)});
+    // Slow path: the sequential statements, compiled immediately after the
+    // batch (interpreter-exact order and diagnostics).
+    p_.code[bidx].c = static_cast<uint32_t>(p_.code.size());
+    for (size_t j = from; j < from + run; ++j) {
+      compile_stmt(block.dsod[j], true, meta);
+    }
+    p_.code[bidx].imm = static_cast<uint32_t>(p_.code.size());  // join
+    for (const auto& [ri, rv] : regs) {
+      free_reg(ri);
+      free_reg(rv);
+    }
+  }
+
+  // --- block compilation --------------------------------------------------
+
+  void compile_block(const EsBlock& block, uint32_t meta) {
+    // Sync-local collection, in the interpreter's order: per-statement
+    // value/index/count, then guard, then cmd_expr; first occurrence wins.
+    std::vector<LocalId> syncs;
+    const auto collect = [&](const ExprRef& e) {
+      if (e == nullptr) {
+        return;
+      }
+      sedspec::visit(*e, [&](const Expr& n) {
+        if (n.kind == ExprKind::kLocal && cfg_.sync_locals.contains(n.local) &&
+            std::find(syncs.begin(), syncs.end(), n.local) == syncs.end()) {
+          syncs.push_back(n.local);
+        }
+      });
+    };
+    std::vector<uint8_t> bounds;
+    bounds.reserve(block.dsod.size());
+    for (const Stmt& s : block.dsod) {
+      collect(s.value);
+      collect(s.index);
+      collect(s.count);
+      bool b = false;
+      if (s.kind == StmtKind::kBufStore) {
+        b = index_is_state_derived(cfg_, s.index);
+      } else if (s.kind == StmtKind::kBufFill) {
+        b = index_is_state_derived(cfg_, s.index) ||
+            index_is_state_derived(cfg_, s.count);
+      }
+      bounds.push_back(b ? 1 : 0);
+    }
+    collect(block.guard);
+    collect(block.cmd_expr);
+
+    const size_t sync_off = p_.sync_pool.size();
+    SEDSPEC_REQUIRE(sync_off + syncs.size() <= 0xffff);
+    p_.sync_pool.insert(p_.sync_pool.end(), syncs.begin(), syncs.end());
+    emit(Insn{.op = static_cast<uint8_t>(Op::kProlog),
+              .dst = static_cast<uint16_t>(syncs.size()),
+              .a = static_cast<uint16_t>(meta),
+              .b = static_cast<uint16_t>(sync_off)});
+
+    // DSOD, batching runs of >= 2 eligible bounds-checked buffer stores.
+    for (size_t i = 0; i < block.dsod.size();) {
+      size_t run = 0;
+      while (i + run < block.dsod.size() &&
+             batch_eligible(block, bounds, i + run)) {
+        ++run;
+      }
+      if (run >= 2) {
+        compile_batch(block, i, run, meta);
+        i += run;
+        continue;
+      }
+      compile_stmt(block.dsod[i], bounds[i] != 0, meta);
+      ++i;
+    }
+
+    // Terminator (NBTD).
+    switch (block.kind) {
+      case sedspec::BlockKind::kConditional: {
+        if (block.merged) {
+          emit_jump(block.has_succ ? block.succ : sedspec::kInvalidSite);
+          break;
+        }
+        SEDSPEC_REQUIRE(block.guard != nullptr);
+        const uint32_t dirs = dir_flags(block);
+        if (try_guard_cmp(block, meta, dirs)) {
+          break;
+        }
+        const uint16_t rg = compile_expr(*block.guard);
+        free_reg(rg);
+        const size_t idx =
+            emit(Insn{.op = static_cast<uint8_t>(Op::kBranch),
+                      .t = expr_can_diag(*block.guard) ? kBrCanDiag
+                                                       : uint8_t{0},
+                      .a = rg,
+                      .c = dirs | (meta << 8)});
+        add_branch_fixups(idx, block);
+        break;
+      }
+      case sedspec::BlockKind::kCmdDecision: {
+        SEDSPEC_REQUIRE(block.cmd_expr != nullptr);
+        const uint16_t rc = compile_expr(*block.cmd_expr);
+        free_reg(rc);
+        const uint32_t ti = build_dispatch_table(block);
+        emit(Insn{.op = static_cast<uint8_t>(Op::kCmdDispatch),
+                  .t = expr_can_diag(*block.cmd_expr) ? kBrCanDiag
+                                                      : uint8_t{0},
+                  .a = rc,
+                  .b = static_cast<uint16_t>(ti),
+                  .c = meta});
+        break;
+      }
+      case sedspec::BlockKind::kIndirect: {
+        const uint32_t ei = build_edge_set(block);
+        const size_t idx =
+            emit(Insn{.op = static_cast<uint8_t>(Op::kIndirect),
+                      .a = block.fp_param,
+                      .b = static_cast<uint16_t>(ei),
+                      .c = meta});
+        if (block.has_succ) {
+          fixups_.push_back(Fixup{idx, kSlotImmLo, block.succ});
+        }
+        break;
+      }
+      case sedspec::BlockKind::kCmdEnd: {
+        const size_t idx = emit(Insn{.op = static_cast<uint8_t>(Op::kCmdEnd)});
+        if (block.has_succ) {
+          fixups_.push_back(Fixup{idx, kSlotImmLo, block.succ});
+        }
+        break;
+      }
+      case sedspec::BlockKind::kPlain:
+        emit_jump(block.has_succ ? block.succ : sedspec::kInvalidSite);
+        break;
+    }
+  }
+
+  void emit_jump(SiteId target) {
+    // Fallthrough elision: a plain jump to the block compiled immediately
+    // after this one is a no-op — the next insn IS that block's prolog.
+    if (target != sedspec::kInvalidSite && target == next_site_) {
+      return;
+    }
+    const size_t idx = emit(Insn{.op = static_cast<uint8_t>(Op::kJump)});
+    fixups_.push_back(Fixup{idx, kSlotC, target});
+  }
+
+  [[nodiscard]] static uint32_t dir_flags(const EsBlock& block) {
+    uint32_t f = 0;
+    if (block.taken.observed) f |= kDirTakenObserved;
+    if (block.taken.ends) f |= kDirTakenEnds;
+    if (block.not_taken.observed) f |= kDirNotTakenObserved;
+    if (block.not_taken.ends) f |= kDirNotTakenEnds;
+    return f;
+  }
+
+  void add_branch_fixups(size_t idx, const EsBlock& block) {
+    if (block.taken.observed && !block.taken.ends) {
+      fixups_.push_back(Fixup{idx, kSlotImmLo, block.taken.succ});
+    }
+    if (block.not_taken.observed && !block.not_taken.ends) {
+      fixups_.push_back(Fixup{idx, kSlotImmHi, block.not_taken.succ});
+    }
+  }
+
+  /// Superinstruction: guard of shape `simple OP simple` where OP is a
+  /// comparison and the operands are constants, scalar params, or I/O
+  /// fields. None of those can raise a diag, so the fused opcode skips the
+  /// whole diag protocol.
+  bool try_guard_cmp(const EsBlock& block, uint32_t meta, uint32_t dirs) {
+    const Expr& g = *block.guard;
+    if (g.kind != ExprKind::kBinary ||
+        g.bin_op < sedspec::BinaryOp::kEq ||
+        g.bin_op > sedspec::BinaryOp::kGe ||
+        g.lhs == nullptr || g.rhs == nullptr) {
+      return false;
+    }
+    const auto spec_of = [&](const Expr& o) -> std::optional<uint16_t> {
+      switch (o.kind) {
+        case ExprKind::kConst: {
+          const uint32_t idx = intern_const(o.const_value);
+          if (idx > 0x7ff) {
+            return std::nullopt;
+          }
+          return operand_spec(0, o.type, static_cast<uint16_t>(idx));
+        }
+        case ExprKind::kParam:
+          if (o.param >= layout_.field_count() ||
+              layout_.field(o.param).is_buffer() || o.param > 0x7ff) {
+            return std::nullopt;
+          }
+          return operand_spec(1, o.type, o.param);
+        case ExprKind::kIoField:
+          return operand_spec(2, o.type, static_cast<uint16_t>(o.io_field));
+        default:
+          return std::nullopt;
+      }
+    };
+    const auto ls = spec_of(*g.lhs);
+    const auto rs = spec_of(*g.rhs);
+    if (!ls.has_value() || !rs.has_value()) {
+      return false;
+    }
+    const size_t idx =
+        emit(Insn{.op = static_cast<uint8_t>(Op::kGuardCmpBranch),
+                  .t = static_cast<uint8_t>(g.bin_op),
+                  .a = *ls,
+                  .b = *rs,
+                  .c = dirs | (meta << 8)});
+    add_branch_fixups(idx, block);
+    return true;
+  }
+
+  uint32_t build_dispatch_table(const EsBlock& block) {
+    const size_t ti = p_.tables.size();
+    SEDSPEC_REQUIRE(ti <= 0xffff);
+    DispatchTable table;
+    for (const auto& [cmd, dir] : block.cmd_dispatch) {  // map order: sorted
+      if (!dir.observed) {
+        continue;  // unobserved entry == absent entry (untrained_cmd)
+      }
+      DispatchEntry e;
+      e.cmd = cmd;
+      e.access_idx = access_index_for(cmd);
+      if (!dir.ends) {
+        table_fixups_.push_back(
+            TableFixup{ti, table.entries.size(), dir.succ});
+      }
+      table.entries.push_back(e);
+    }
+    p_.tables.push_back(std::move(table));
+    return static_cast<uint32_t>(ti);
+  }
+
+  uint32_t build_edge_set(const EsBlock& block) {
+    const size_t ei = p_.edges.size();
+    SEDSPEC_REQUIRE(ei <= 0xffff);
+    EdgeSet set;
+    if (!block.fp_targets.empty()) {
+      const uint64_t lo = *block.fp_targets.begin();
+      const uint64_t hi = *block.fp_targets.rbegin();
+      const uint64_t span = hi - lo;
+      if (span < (uint64_t{1} << 16)) {
+        set.kind = EdgeSet::kBitmap;
+        set.base = lo;
+        set.words.assign((span >> 6) + 1, 0);
+        for (const uint64_t t : block.fp_targets) {
+          const uint64_t off = t - lo;
+          set.words[off >> 6] |= uint64_t{1} << (off & 63);
+        }
+      } else {
+        set.kind = EdgeSet::kSorted;
+        set.sorted.assign(block.fp_targets.begin(), block.fp_targets.end());
+      }
+    }
+    p_.edges.push_back(std::move(set));
+    return static_cast<uint32_t>(ei);
+  }
+
+  // --- target resolution --------------------------------------------------
+
+  /// kInvalidSite -> 0 (round end); a compiled block -> its pc; anything
+  /// else -> a lazily materialized kTrapUnmapped. The trap replicates the
+  /// interpreter byte-for-byte: a trained `succ` that is not a block is
+  /// still *walked onto* (ends is not consulted by plain transitions), and
+  /// the unmapped site throws only after step/watchdog/budget accounting.
+  uint32_t resolve_target(SiteId site) {
+    if (site == sedspec::kInvalidSite) {
+      return 0;
+    }
+    if (const auto it = block_pc_.find(site); it != block_pc_.end()) {
+      return it->second;
+    }
+    const auto [it, inserted] = trap_pc_.try_emplace(site, 0);
+    if (inserted) {
+      it->second = static_cast<uint32_t>(p_.code.size());
+      emit(Insn{.op = static_cast<uint8_t>(Op::kTrapUnmapped), .c = site});
+    }
+    return it->second;
+  }
+
+  void apply_fixups() {
+    for (const Fixup& f : fixups_) {
+      const uint32_t pc = resolve_target(f.site);
+      Insn& ins = p_.code[f.insn];
+      switch (f.slot) {
+        case kSlotC:
+          ins.c = pc;
+          break;
+        case kSlotImmLo:
+          ins.imm = (ins.imm & ~uint64_t{0xffffffff}) | pc;
+          break;
+        case kSlotImmHi:
+          ins.imm = (ins.imm & uint64_t{0xffffffff}) |
+                    (static_cast<uint64_t>(pc) << 32);
+          break;
+      }
+    }
+    for (const TableFixup& f : table_fixups_) {
+      p_.tables[f.table].entries[f.entry].pc = resolve_target(f.site);
+    }
+  }
+
+  void build_entries() {
+    std::map<uint64_t, uint32_t> by_addr[4];
+    for (const auto& [key, entry] : cfg_.entry_dispatch) {
+      const size_t g = ((key.space == sedspec::IoSpace::kMmio) ? 2 : 0) |
+                       (key.is_write ? 1 : 0);
+      by_addr[g][key.addr] = resolve_target(entry);
+    }
+    for (size_t g = 0; g < 4; ++g) {
+      EntryGroup& group = p_.entry[g];
+      if (by_addr[g].empty()) {
+        continue;
+      }
+      const uint64_t lo = by_addr[g].begin()->first;
+      const uint64_t hi = by_addr[g].rbegin()->first;
+      if (hi - lo < 4096) {
+        group.dense = true;
+        group.base = lo;
+        group.table.assign(hi - lo + 1, kPcMiss);
+        for (const auto& [addr, pc] : by_addr[g]) {
+          group.table[addr - lo] = pc;
+        }
+      } else {
+        for (const auto& [addr, pc] : by_addr[g]) {
+          group.addrs.push_back(addr);
+          group.pcs.push_back(pc);
+        }
+      }
+    }
+  }
+
+  const spec::EsCfg& cfg_;
+  const CheckerConfig& config_;
+  const sedspec::StateLayout& layout_;
+  const size_t site_count_;
+
+  BytecodeProgram p_;
+  std::map<SiteId, uint32_t> meta_idx_;
+  std::map<SiteId, uint32_t> block_pc_;
+  std::map<SiteId, uint32_t> trap_pc_;
+  std::map<std::string, uint32_t> note_idx_;
+  std::map<uint64_t, uint32_t> const_idx_;
+  std::vector<Fixup> fixups_;
+  std::vector<TableFixup> table_fixups_;
+  std::vector<uint16_t> free_regs_;
+  uint32_t next_reg_ = 0;
+  SiteId next_site_ = sedspec::kInvalidSite;  // block after the current one
+};
+
+}  // namespace
+
+std::shared_ptr<const BytecodeProgram> compile_program(
+    const spec::EsCfg& cfg, const Device& device,
+    const CheckerConfig& config) {
+  return Compiler(cfg, device, config).run();
+}
+
+// ---------------------------------------------------------------------------
+// Structural verifier.
+//
+// Leniency principle: the verifier checks RAW MEMORY SAFETY of execution —
+// register indices, pool/table/jump indices, opcode validity (the computed-
+// goto table is indexed by op without a bounds check), terminator placement.
+// It deliberately does NOT range-check param/local ids: the arena and layout
+// already guard those at runtime with the same logic_error the interpreter
+// produces, and rejecting at attach time would diverge from the
+// interpreter's runtime-containment behavior on malformed specs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] bool is_terminator(Op op) {
+  switch (op) {
+    case Op::kEnd:
+    case Op::kJump:
+    case Op::kBranch:
+    case Op::kGuardCmpBranch:
+    case Op::kCmdDispatch:
+    case Op::kIndirect:
+    case Op::kCmdEnd:
+    case Op::kTrapUnmapped:
+    case Op::kBoundsBatch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void verify_program(const BytecodeProgram& p, const sedspec::StateLayout& layout,
+                    size_t site_count) {
+  (void)site_count;  // sites are diagnostic data, not indices
+  SEDSPEC_CHECK_DECODE(p.reg_count <= 0x10000, "register count out of range");
+  SEDSPEC_CHECK_DECODE(!p.code.empty(), "empty code");
+  SEDSPEC_CHECK_DECODE(p.code.size() < kPcMiss, "code too large");
+  SEDSPEC_CHECK_DECODE(p.code[0].op == static_cast<uint8_t>(Op::kEnd),
+                       "code[0] must be kEnd");
+  SEDSPEC_CHECK_DECODE(
+      p.words_per_block == (p.blocks.size() + 63) / 64,
+      "words_per_block inconsistent with block count");
+  SEDSPEC_CHECK_DECODE(
+      p.access_words.size() == p.cmd_values.size() * p.words_per_block,
+      "access table size inconsistent");
+  SEDSPEC_CHECK_DECODE(
+      std::is_sorted(p.cmd_values.begin(), p.cmd_values.end()) &&
+          std::adjacent_find(p.cmd_values.begin(), p.cmd_values.end()) ==
+              p.cmd_values.end(),
+      "command values not strictly sorted");
+
+  const auto check_reg = [&](uint16_t r) {
+    SEDSPEC_CHECK_DECODE(r < p.reg_count, "register index out of range");
+  };
+  const auto check_pc = [&](uint32_t pc) {
+    SEDSPEC_CHECK_DECODE(pc < p.code.size(), "jump target out of range");
+  };
+
+  for (const Insn& ins : p.code) {
+    switch (static_cast<Op>(ins.op)) {
+      case Op::kEnd:
+      case Op::kTrapUnmapped:
+        break;
+      case Op::kJump:
+        check_pc(ins.c);
+        break;
+      case Op::kProlog:
+        SEDSPEC_CHECK_DECODE(ins.a < p.blocks.size(),
+                             "prolog block index out of range");
+        SEDSPEC_CHECK_DECODE(
+            static_cast<size_t>(ins.b) + ins.dst <= p.sync_pool.size(),
+            "sync pool slice out of range");
+        break;
+      case Op::kBranch:
+        check_reg(ins.a);
+        SEDSPEC_CHECK_DECODE((ins.c >> 8) < p.blocks.size(),
+                             "branch block index out of range");
+        check_pc(static_cast<uint32_t>(ins.imm));
+        check_pc(static_cast<uint32_t>(ins.imm >> 32));
+        break;
+      case Op::kGuardCmpBranch: {
+        SEDSPEC_CHECK_DECODE(
+            ins.t >= static_cast<uint8_t>(sedspec::BinaryOp::kEq) &&
+                ins.t <= static_cast<uint8_t>(sedspec::BinaryOp::kGe),
+            "guard-cmp operator not a comparison");
+        for (const uint16_t spec : {ins.a, ins.b}) {
+          const unsigned kind = spec >> 14;
+          const uint16_t id = spec & 0x7ff;
+          SEDSPEC_CHECK_DECODE(kind < 3, "guard-cmp operand kind invalid");
+          if (kind == 0) {
+            SEDSPEC_CHECK_DECODE(id < p.consts.size(),
+                                 "guard-cmp constant index out of range");
+          } else if (kind == 2) {
+            SEDSPEC_CHECK_DECODE(id <= 4, "guard-cmp io field invalid");
+          }
+        }
+        SEDSPEC_CHECK_DECODE((ins.c >> 8) < p.blocks.size(),
+                             "branch block index out of range");
+        check_pc(static_cast<uint32_t>(ins.imm));
+        check_pc(static_cast<uint32_t>(ins.imm >> 32));
+        break;
+      }
+      case Op::kCmdDispatch:
+        check_reg(ins.a);
+        SEDSPEC_CHECK_DECODE(ins.b < p.tables.size(),
+                             "dispatch table index out of range");
+        SEDSPEC_CHECK_DECODE(ins.c < p.blocks.size(),
+                             "dispatch block index out of range");
+        break;
+      case Op::kIndirect:
+        SEDSPEC_CHECK_DECODE(ins.b < p.edges.size(),
+                             "edge set index out of range");
+        SEDSPEC_CHECK_DECODE(ins.c < p.blocks.size(),
+                             "indirect block index out of range");
+        check_pc(static_cast<uint32_t>(ins.imm));
+        break;
+      case Op::kCmdEnd:
+        check_pc(static_cast<uint32_t>(ins.imm));
+        break;
+      case Op::kConst:
+        check_reg(ins.dst);
+        break;
+      case Op::kLoadParam:
+      case Op::kLoadLocal:
+        check_reg(ins.dst);
+        break;
+      case Op::kLoadIo:
+        check_reg(ins.dst);
+        SEDSPEC_CHECK_DECODE(ins.a <= 4, "io field out of range");
+        break;
+      case Op::kBufLoad:
+      case Op::kCast:
+      case Op::kNeg:
+      case Op::kBitNot:
+      case Op::kLogNot:
+        check_reg(ins.a);
+        check_reg(ins.dst);
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr:
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+      case Op::kLAnd:
+      case Op::kLOr:
+        check_reg(ins.a);
+        check_reg(ins.b);
+        check_reg(ins.dst);
+        break;
+      case Op::kStoreParam:
+      case Op::kStoreLocal:
+        check_reg(ins.a);
+        break;
+      case Op::kBufStore:
+      case Op::kBufFill:
+        check_reg(ins.a);
+        check_reg(ins.dst);
+        break;
+      case Op::kDiagCheck:
+        SEDSPEC_CHECK_DECODE(ins.b < p.blocks.size(),
+                             "diag block index out of range");
+        SEDSPEC_CHECK_DECODE(ins.c < p.notes.size(),
+                             "diag note index out of range");
+        break;
+      case Op::kLoadScalar:
+        check_reg(ins.dst);
+        SEDSPEC_CHECK_DECODE(
+            ins.b >= 1 && ins.b <= 8 &&
+                static_cast<uint64_t>(ins.c) + ins.b <= layout.arena_size(),
+            "scalar access outside arena");
+        break;
+      case Op::kStoreScalar:
+        check_reg(ins.a);
+        SEDSPEC_CHECK_DECODE(
+            ins.b >= 1 && ins.b <= 8 &&
+                static_cast<uint64_t>(ins.c) + ins.b <= layout.arena_size(),
+            "scalar access outside arena");
+        break;
+      case Op::kStoreScalarImm:
+        SEDSPEC_CHECK_DECODE(
+            ins.b >= 1 && ins.b <= 8 &&
+                static_cast<uint64_t>(ins.c) + ins.b <= layout.arena_size(),
+            "scalar access outside arena");
+        break;
+      case Op::kBoundsBatch: {
+        SEDSPEC_CHECK_DECODE(
+            static_cast<size_t>(ins.a) + ins.b <= p.batch_pool.size(),
+            "batch pool slice out of range");
+        check_pc(ins.c);
+        check_pc(static_cast<uint32_t>(ins.imm));
+        for (uint32_t i = 0; i < ins.b; ++i) {
+          const BatchEntry& e = p.batch_pool[ins.a + i];
+          check_reg(e.idx_reg);
+          check_reg(e.val_reg);
+          SEDSPEC_CHECK_DECODE(e.param < layout.field_count(),
+                               "batch param out of range");
+          SEDSPEC_CHECK_DECODE(layout.field(e.param).is_buffer(),
+                               "batch param not a buffer");
+          SEDSPEC_CHECK_DECODE(e.limit == layout.field(e.param).count,
+                               "batch limit != buffer element count");
+        }
+        break;
+      }
+      default:
+        SEDSPEC_CHECK_DECODE(false, "unknown opcode");
+    }
+  }
+  SEDSPEC_CHECK_DECODE(is_terminator(static_cast<Op>(p.code.back().op)),
+                       "code must end with a terminator");
+
+  for (const DispatchTable& table : p.tables) {
+    uint64_t prev = 0;
+    bool first = true;
+    for (const DispatchEntry& e : table.entries) {
+      SEDSPEC_CHECK_DECODE(first || e.cmd > prev,
+                           "dispatch table not strictly sorted");
+      first = false;
+      prev = e.cmd;
+      SEDSPEC_CHECK_DECODE(e.pc < p.code.size(),
+                           "dispatch target out of range");
+      SEDSPEC_CHECK_DECODE(
+          e.access_idx == kNoAccess || e.access_idx < p.cmd_values.size(),
+          "dispatch access index out of range");
+    }
+  }
+  for (const EdgeSet& set : p.edges) {
+    SEDSPEC_CHECK_DECODE(set.kind <= EdgeSet::kSorted, "edge set kind invalid");
+  }
+  for (const EntryGroup& g : p.entry) {
+    SEDSPEC_CHECK_DECODE(g.pcs.size() == g.addrs.size(),
+                         "entry group pc/addr size mismatch");
+    for (const uint32_t pc : g.table) {
+      SEDSPEC_CHECK_DECODE(pc == kPcMiss || pc < p.code.size(),
+                           "entry target out of range");
+    }
+    for (const uint32_t pc : g.pcs) {
+      SEDSPEC_CHECK_DECODE(pc == kPcMiss || pc < p.code.size(),
+                           "entry target out of range");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization ("SEBC" envelope, mirroring spec/serial.h's integrity chain).
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> serialize(const BytecodeProgram& p) {
+  ByteWriter w;
+  w.str(p.device_name);
+  w.u32(p.reg_count);
+  w.u32(static_cast<uint32_t>(p.code.size()));
+  for (const Insn& ins : p.code) {
+    w.u8(ins.op);
+    w.u8(ins.t);
+    w.u16(ins.dst);
+    w.u16(ins.a);
+    w.u16(ins.b);
+    w.u32(ins.c);
+    w.u64(ins.imm);
+  }
+  w.u32(static_cast<uint32_t>(p.blocks.size()));
+  for (const BlockMeta& b : p.blocks) {
+    w.str(b.name);
+    w.u16(b.site);
+    w.u64(b.trained_max);
+    w.u64(b.visit_bound);
+  }
+  w.u32(static_cast<uint32_t>(p.notes.size()));
+  for (const std::string& n : p.notes) {
+    w.str(n);
+  }
+  w.u32(static_cast<uint32_t>(p.consts.size()));
+  for (const uint64_t v : p.consts) {
+    w.u64(v);
+  }
+  w.u32(static_cast<uint32_t>(p.sync_pool.size()));
+  for (const LocalId l : p.sync_pool) {
+    w.u16(l);
+  }
+  w.u32(static_cast<uint32_t>(p.tables.size()));
+  for (const DispatchTable& t : p.tables) {
+    w.u32(static_cast<uint32_t>(t.entries.size()));
+    for (const DispatchEntry& e : t.entries) {
+      w.u64(e.cmd);
+      w.u32(e.pc);
+      w.u32(e.access_idx);
+    }
+  }
+  w.u32(static_cast<uint32_t>(p.edges.size()));
+  for (const EdgeSet& s : p.edges) {
+    w.u8(s.kind);
+    w.u64(s.base);
+    w.u32(static_cast<uint32_t>(s.words.size()));
+    for (const uint64_t v : s.words) {
+      w.u64(v);
+    }
+    w.u32(static_cast<uint32_t>(s.sorted.size()));
+    for (const uint64_t v : s.sorted) {
+      w.u64(v);
+    }
+  }
+  w.u32(static_cast<uint32_t>(p.batch_pool.size()));
+  for (const BatchEntry& e : p.batch_pool) {
+    w.u16(e.idx_reg);
+    w.u16(e.val_reg);
+    w.u16(e.param);
+    w.u32(e.limit);
+  }
+  w.u32(static_cast<uint32_t>(p.cmd_values.size()));
+  for (const uint64_t v : p.cmd_values) {
+    w.u64(v);
+  }
+  w.u32(p.words_per_block);
+  w.u32(static_cast<uint32_t>(p.access_words.size()));
+  for (const uint64_t v : p.access_words) {
+    w.u64(v);
+  }
+  for (const EntryGroup& g : p.entry) {
+    w.u8(g.dense ? 1 : 0);
+    w.u64(g.base);
+    w.u32(static_cast<uint32_t>(g.table.size()));
+    for (const uint32_t v : g.table) {
+      w.u32(v);
+    }
+    w.u32(static_cast<uint32_t>(g.addrs.size()));
+    for (const uint64_t v : g.addrs) {
+      w.u64(v);
+    }
+    w.u32(static_cast<uint32_t>(g.pcs.size()));
+    for (const uint32_t v : g.pcs) {
+      w.u32(v);
+    }
+  }
+
+  const std::vector<uint8_t>& payload = w.bytes();
+  ByteWriter out;
+  out.u32(kBytecodeMagic);
+  out.u32(kBytecodeFormatVersion);
+  out.u32(static_cast<uint32_t>(payload.size()));
+  out.u32(crc32(payload));
+  std::vector<uint8_t> bytes = out.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+namespace {
+
+uint32_t get_u32_at(std::span<const uint8_t> bytes, size_t at) {
+  uint32_t v = 0;
+  std::memcpy(&v, bytes.data() + at, sizeof(v));
+  return v;
+}
+
+BytecodeProgram decode_payload(ByteReader& r) {
+  BytecodeProgram p;
+  p.device_name = r.str();
+  p.reg_count = r.u32();
+  const uint32_t code_count = r.u32();
+  for (uint32_t i = 0; i < code_count; ++i) {
+    Insn ins;
+    ins.op = r.u8();
+    ins.t = r.u8();
+    ins.dst = r.u16();
+    ins.a = r.u16();
+    ins.b = r.u16();
+    ins.c = r.u32();
+    ins.imm = r.u64();
+    p.code.push_back(ins);
+  }
+  const uint32_t block_count = r.u32();
+  for (uint32_t i = 0; i < block_count; ++i) {
+    BlockMeta b;
+    b.name = r.str();
+    b.site = r.u16();
+    b.trained_max = r.u64();
+    b.visit_bound = r.u64();
+    p.blocks.push_back(std::move(b));
+  }
+  const uint32_t note_count = r.u32();
+  for (uint32_t i = 0; i < note_count; ++i) {
+    p.notes.push_back(r.str());
+  }
+  const uint32_t const_count = r.u32();
+  for (uint32_t i = 0; i < const_count; ++i) {
+    p.consts.push_back(r.u64());
+  }
+  const uint32_t sync_count = r.u32();
+  for (uint32_t i = 0; i < sync_count; ++i) {
+    p.sync_pool.push_back(r.u16());
+  }
+  const uint32_t table_count = r.u32();
+  for (uint32_t i = 0; i < table_count; ++i) {
+    DispatchTable t;
+    const uint32_t entry_count = r.u32();
+    for (uint32_t j = 0; j < entry_count; ++j) {
+      DispatchEntry e;
+      e.cmd = r.u64();
+      e.pc = r.u32();
+      e.access_idx = r.u32();
+      t.entries.push_back(e);
+    }
+    p.tables.push_back(std::move(t));
+  }
+  const uint32_t edge_count = r.u32();
+  for (uint32_t i = 0; i < edge_count; ++i) {
+    EdgeSet s;
+    s.kind = r.u8();
+    SEDSPEC_CHECK_DECODE(s.kind <= EdgeSet::kSorted, "edge set kind invalid");
+    s.base = r.u64();
+    const uint32_t word_count = r.u32();
+    for (uint32_t j = 0; j < word_count; ++j) {
+      s.words.push_back(r.u64());
+    }
+    const uint32_t sorted_count = r.u32();
+    for (uint32_t j = 0; j < sorted_count; ++j) {
+      s.sorted.push_back(r.u64());
+    }
+    p.edges.push_back(std::move(s));
+  }
+  const uint32_t batch_count = r.u32();
+  for (uint32_t i = 0; i < batch_count; ++i) {
+    BatchEntry e;
+    e.idx_reg = r.u16();
+    e.val_reg = r.u16();
+    e.param = r.u16();
+    e.limit = r.u32();
+    p.batch_pool.push_back(e);
+  }
+  const uint32_t cmd_count = r.u32();
+  for (uint32_t i = 0; i < cmd_count; ++i) {
+    p.cmd_values.push_back(r.u64());
+  }
+  p.words_per_block = r.u32();
+  const uint32_t access_count = r.u32();
+  for (uint32_t i = 0; i < access_count; ++i) {
+    p.access_words.push_back(r.u64());
+  }
+  for (EntryGroup& g : p.entry) {
+    g.dense = r.u8() != 0;
+    g.base = r.u64();
+    const uint32_t table_size = r.u32();
+    for (uint32_t j = 0; j < table_size; ++j) {
+      g.table.push_back(r.u32());
+    }
+    const uint32_t addr_count = r.u32();
+    for (uint32_t j = 0; j < addr_count; ++j) {
+      g.addrs.push_back(r.u64());
+    }
+    const uint32_t pc_count = r.u32();
+    for (uint32_t j = 0; j < pc_count; ++j) {
+      g.pcs.push_back(r.u32());
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+BytecodeLoadResult load_program(std::span<const uint8_t> bytes) {
+  BytecodeLoadResult result;
+  if (bytes.size() < 16) {
+    result.error = {spec::LoadStatus::kTooShort,
+                    "buffer smaller than the SEBC envelope"};
+    return result;
+  }
+  const uint32_t magic = get_u32_at(bytes, 0);
+  if (magic != kBytecodeMagic) {
+    result.error = {spec::LoadStatus::kBadMagic,
+                    "not a bytecode-program artifact"};
+    return result;
+  }
+  const uint32_t version = get_u32_at(bytes, 4);
+  if (version != kBytecodeFormatVersion) {
+    result.error = {spec::LoadStatus::kVersionSkew,
+                    "bytecode format version " + std::to_string(version) +
+                        " (expected " +
+                        std::to_string(kBytecodeFormatVersion) + ")"};
+    return result;
+  }
+  const uint32_t payload_len = get_u32_at(bytes, 8);
+  if (payload_len != bytes.size() - 16) {
+    result.error = {spec::LoadStatus::kLengthMismatch,
+                    "envelope payload length does not match buffer"};
+    return result;
+  }
+  const std::span<const uint8_t> payload = bytes.subspan(16);
+  const uint32_t crc = get_u32_at(bytes, 12);
+  if (crc32(payload) != crc) {
+    result.error = {spec::LoadStatus::kCrcMismatch,
+                    "payload failed CRC32 integrity check"};
+    return result;
+  }
+  try {
+    ByteReader r(payload);
+    BytecodeProgram p = decode_payload(r);
+    SEDSPEC_CHECK_DECODE(r.done(), "trailing bytes after payload");
+    result.program = std::make_shared<const BytecodeProgram>(std::move(p));
+  } catch (const DecodeError& e) {
+    result.error = {spec::LoadStatus::kMalformed, e.what()};
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// The VM.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using sedspec::EvalDiag;
+using sedspec::IntType;
+using sedspec::IoField;
+
+/// Raw 64-bit two's-complement pattern of an operand's interpreted value
+/// (eval.cc's pattern_of).
+inline uint64_t vm_pattern(IntType t, uint64_t raw) {
+  return static_cast<uint64_t>(
+      static_cast<unsigned __int128>(sedspec::interpret(t, raw)));
+}
+
+/// One binary AST node, replicating eval_binary() exactly — including the
+/// overflow-recording order, eager &&/||, raw (untruncated) comparison
+/// results, and the shift-range rule. Instantiated once per operator so the
+/// per-opcode VM labels stay free of a second dispatch.
+template <sedspec::BinaryOp OP>
+inline void vm_binary(const Insn& ins, uint64_t* regs, EvalDiag& diag) {
+  using sedspec::BinaryOp;
+  const auto res = static_cast<IntType>(ins.c & 7);
+  const auto lt = static_cast<IntType>((ins.c >> 8) & 7);
+  const auto rt = static_cast<IntType>((ins.c >> 16) & 7);
+  const uint64_t lraw = regs[ins.a];
+  const uint64_t rraw = regs[ins.b];
+  const __int128 lv = sedspec::interpret(lt, lraw);
+  const __int128 rv = sedspec::interpret(rt, rraw);
+  const auto arith = [&](__int128 truth) {
+    if (!sedspec::representable(res, truth)) {
+      diag.record(EvalDiag::Kind::kIntegerOverflow);
+      if (diag.kind == EvalDiag::Kind::kIntegerOverflow &&
+          diag.note.empty()) {
+        diag.type = res;
+      }
+    }
+    return sedspec::wrap_to(res, truth);
+  };
+  uint64_t out = 0;
+  if constexpr (OP == BinaryOp::kAdd) {
+    out = arith(lv + rv);
+  } else if constexpr (OP == BinaryOp::kSub) {
+    out = arith(lv - rv);
+  } else if constexpr (OP == BinaryOp::kMul) {
+    out = arith(lv * rv);
+  } else if constexpr (OP == BinaryOp::kDiv || OP == BinaryOp::kMod) {
+    if (rv == 0) {
+      diag.record(EvalDiag::Kind::kDivByZero);
+      out = 0;
+    } else {
+      out = arith(OP == BinaryOp::kDiv ? lv / rv : lv % rv);
+    }
+  } else if constexpr (OP == BinaryOp::kAnd) {
+    out = sedspec::truncate_to(res, vm_pattern(lt, lraw) & vm_pattern(rt, rraw));
+  } else if constexpr (OP == BinaryOp::kOr) {
+    out = sedspec::truncate_to(res, vm_pattern(lt, lraw) | vm_pattern(rt, rraw));
+  } else if constexpr (OP == BinaryOp::kXor) {
+    out = sedspec::truncate_to(res, vm_pattern(lt, lraw) ^ vm_pattern(rt, rraw));
+  } else if constexpr (OP == BinaryOp::kShl) {
+    const uint64_t amount = static_cast<uint64_t>(rv) & 63;
+    if (rv < 0 || rv >= sedspec::bits_of(res)) {
+      diag.record(EvalDiag::Kind::kShiftOutOfRange);
+      diag.type = res;
+    }
+    out = arith(lv * (static_cast<__int128>(1) << amount));
+  } else if constexpr (OP == BinaryOp::kShr) {
+    const uint64_t amount = static_cast<uint64_t>(rv) & 63;
+    if (rv < 0 || rv >= sedspec::bits_of(res)) {
+      diag.record(EvalDiag::Kind::kShiftOutOfRange);
+      diag.type = res;
+    }
+    out = sedspec::wrap_to(res, lv >> amount);
+  } else if constexpr (OP == BinaryOp::kEq) {
+    out = lv == rv ? 1 : 0;
+  } else if constexpr (OP == BinaryOp::kNe) {
+    out = lv != rv ? 1 : 0;
+  } else if constexpr (OP == BinaryOp::kLt) {
+    out = lv < rv ? 1 : 0;
+  } else if constexpr (OP == BinaryOp::kLe) {
+    out = lv <= rv ? 1 : 0;
+  } else if constexpr (OP == BinaryOp::kGt) {
+    out = lv > rv ? 1 : 0;
+  } else if constexpr (OP == BinaryOp::kGe) {
+    out = lv >= rv ? 1 : 0;
+  } else if constexpr (OP == BinaryOp::kLAnd) {
+    out = (lv != 0 && rv != 0) ? 1 : 0;  // eager: both already evaluated
+  } else {
+    out = (lv != 0 || rv != 0) ? 1 : 0;  // kLOr, also eager
+  }
+  regs[ins.dst] = out;
+}
+
+/// kGuardCmpBranch operand fetch + interpret. Matches an interpreter round
+/// that evaluated the operand expression then interpreted it with its
+/// declared type (interpret() truncates first, so the compose is exact).
+inline __int128 vm_guard_operand(const BytecodeProgram& p,
+                                 const sedspec::StateArena& shadow,
+                                 const IoAccess& io, uint16_t spec,
+                                 const uint32_t* scalar_off,
+                                 const uint8_t* scalar_w, size_t scalar_n) {
+  const unsigned kind = spec >> 14;
+  const auto t = static_cast<IntType>((spec >> 11) & 7);
+  const uint16_t id = spec & 0x7ff;
+  uint64_t raw = 0;
+  if (kind == 0) {
+    raw = p.consts[id];
+  } else if (kind == 1) {
+    // Scalar fields use the attach()-resolved offset/width (bit-identical to
+    // param(): a zero-extending little-endian load); anything else — buffer
+    // fields or a garbled id — falls back to the containing generic path.
+    if (id < scalar_n && scalar_w[id] != 0) {
+      raw = shadow.load_scalar(scalar_off[id], scalar_w[id]);
+    } else {
+      raw = shadow.param(static_cast<ParamId>(id));
+    }
+  } else {
+    switch (static_cast<IoField>(id)) {
+      case IoField::kAddr:
+        raw = io.addr;
+        break;
+      case IoField::kValue:
+        raw = io.value;
+        break;
+      case IoField::kSize:
+        raw = io.size;
+        break;
+      case IoField::kIsWrite:
+        raw = io.is_write ? 1 : 0;
+        break;
+      case IoField::kSpace:
+        raw = static_cast<uint64_t>(io.space);
+        break;
+    }
+  }
+  return sedspec::interpret(t, raw);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BytecodeEngine.
+// ---------------------------------------------------------------------------
+
+BytecodeEngine::BytecodeEngine(const spec::EsCfg* cfg, Device* device,
+                               sedspec::StateArena* shadow,
+                               const CheckerConfig* config)
+    : program_(compile_program(*cfg, *device, *config)),
+      device_(device),
+      shadow_(shadow),
+      config_(config) {
+  attach();
+}
+
+BytecodeEngine::BytecodeEngine(std::shared_ptr<const BytecodeProgram> program,
+                               Device* device, sedspec::StateArena* shadow,
+                               const CheckerConfig* config)
+    : program_(std::move(program)),
+      device_(device),
+      shadow_(shadow),
+      config_(config) {
+  SEDSPEC_REQUIRE(program_ != nullptr);
+  SEDSPEC_REQUIRE_MSG(
+      program_->device_name == device_->program().device_name(),
+      "bytecode program compiled for a different device");
+  attach();
+}
+
+void BytecodeEngine::attach() {
+  verify_program(*program_, device_->program().layout(),
+                 device_->program().site_count());
+  regs_.assign(program_->reg_count, 0);
+  visits_.assign(program_->blocks.size(), 0);
+  visit_epoch_.assign(program_->blocks.size(), 0);
+  ic_.assign(program_->tables.size(), ICEntry{});
+  // Pre-resolve scalar fields so guard operands skip the virtual param()
+  // lookup; entries stay 0 (fallback) for buffers and oversized fields.
+  const sedspec::StateLayout& layout = shadow_->layout();
+  guard_off_.assign(layout.field_count(), 0);
+  guard_w_.assign(layout.field_count(), 0);
+  for (size_t i = 0; i < layout.field_count(); ++i) {
+    const sedspec::FieldDesc& f = layout.field(static_cast<ParamId>(i));
+    if (!f.is_buffer() && f.size >= 1 && f.size <= 8) {
+      guard_off_[i] = f.offset;
+      guard_w_[i] = static_cast<uint8_t>(f.size);
+    }
+  }
+}
+
+uint32_t BytecodeEngine::access_index_of(uint64_t cmd) const {
+  const auto it = std::lower_bound(program_->cmd_values.begin(),
+                                   program_->cmd_values.end(), cmd);
+  if (it == program_->cmd_values.end() || *it != cmd) {
+    return kNoAccess;
+  }
+  return static_cast<uint32_t>(it - program_->cmd_values.begin());
+}
+
+std::optional<uint64_t> BytecodeEngine::active_command() const {
+  if (!active_has_) {
+    return std::nullopt;
+  }
+  return active_cmd_;
+}
+
+void BytecodeEngine::set_active_command(std::optional<uint64_t> cmd) {
+  if (!cmd.has_value()) {
+    active_has_ = false;
+    active_access_ = kNoAccess;
+    return;
+  }
+  active_has_ = true;
+  active_cmd_ = *cmd;
+  active_access_ = access_index_of(*cmd);
+}
+
+// Threaded-code dispatch on GCC/Clang (computed goto); portable switch
+// fallback elsewhere. Both bodies are generated from the same VM_CASE
+// blocks below.
+#if defined(__GNUC__) || defined(__clang__)
+#define SEDSPEC_VM_THREADED 1
+#endif
+
+#ifdef SEDSPEC_VM_THREADED
+#define VM_CASE(name) op_##name:
+#define VM_DISPATCH() goto* kJumpTable[code[pc].op]
+#define VM_NEXT() \
+  do {            \
+    ++pc;         \
+    VM_DISPATCH();\
+  } while (0)
+#define VM_GOTO(target)                    \
+  do {                                     \
+    pc = static_cast<uint32_t>(target);    \
+    VM_DISPATCH();                         \
+  } while (0)
+#else
+#define VM_CASE(name) case Op::name:
+#define VM_NEXT() \
+  do {            \
+    ++pc;         \
+    goto vm_next; \
+  } while (0)
+#define VM_GOTO(target)                    \
+  do {                                     \
+    pc = static_cast<uint32_t>(target);    \
+    goto vm_next;                          \
+  } while (0)
+#endif
+
+CheckResult BytecodeEngine::check(const IoAccess& io,
+                                  const RoundOptions& opts) {
+  CheckResult result;
+  std::vector<Violation> viols;
+  const BytecodeProgram& p = *program_;
+  const Insn* code = p.code.data();
+  uint64_t* regs = regs_.data();
+  const uint32_t* goff = guard_off_.data();
+  const uint8_t* gw = guard_w_.data();
+  const size_t gn = guard_w_.size();
+  const bool cond_on = strategy_enabled(*config_, Strategy::kConditionalJump);
+  const bool param_on = strategy_enabled(*config_, Strategy::kParameter);
+  const bool ind_on = strategy_enabled(*config_, Strategy::kIndirectJump);
+  obs::EventTracer* tr = obs::tracer();
+  const bool step_events = tr != nullptr && tr->verbose();
+  ++epoch_;
+  const uint64_t watchdog =
+      std::max(config_->watchdog_steps, config_->max_steps + 1);
+  // Invariant: the diag is clean at statement/block boundaries; a contained
+  // logic_error mid-statement can leave it dirty, so reset per round.
+  diag_ = EvalDiag{};
+  uint64_t steps = 0;
+
+  const auto add = [&](Strategy s, SiteId site, std::string detail) {
+    viols.push_back(Violation{s, site, std::move(detail)});
+  };
+
+  // Entry dispatch (paper §V-A): dense table or branchless lower-bound per
+  // (space, direction) group.
+  uint32_t pc = kPcMiss;
+  {
+    const EntryGroup& g =
+        p.entry[((io.space == sedspec::IoSpace::kMmio) ? 2 : 0) |
+                (io.is_write ? 1 : 0)];
+    if (g.dense) {
+      if (io.addr >= g.base && io.addr - g.base < g.table.size()) {
+        pc = g.table[io.addr - g.base];
+      }
+    } else if (!g.addrs.empty()) {
+      const uint64_t* base = g.addrs.data();
+      size_t n = g.addrs.size();
+      while (n > 1) {
+        const size_t half = n / 2;
+        base += (base[half - 1] < io.addr) ? half : 0;
+        n -= half;
+      }
+      if (*base == io.addr) {
+        pc = g.pcs[static_cast<size_t>(base - g.addrs.data())];
+      }
+    }
+  }
+  if (pc == kPcMiss) {
+    if (cond_on) {
+      add(Strategy::kConditionalJump, sedspec::kInvalidSite,
+          detail::untrained_io(io));
+    }
+    result.violations = std::move(viols);
+    return result;
+  }
+
+#ifdef SEDSPEC_VM_THREADED
+  static const void* const kJumpTable[] = {
+      &&op_kEnd,        &&op_kJump,       &&op_kProlog,   &&op_kBranch,
+      &&op_kGuardCmpBranch, &&op_kCmdDispatch, &&op_kIndirect, &&op_kCmdEnd,
+      &&op_kTrapUnmapped, &&op_kConst,    &&op_kLoadParam, &&op_kLoadLocal,
+      &&op_kLoadIo,     &&op_kBufLoad,    &&op_kCast,     &&op_kNeg,
+      &&op_kBitNot,     &&op_kLogNot,     &&op_kAdd,      &&op_kSub,
+      &&op_kMul,        &&op_kDiv,        &&op_kMod,      &&op_kAnd,
+      &&op_kOr,         &&op_kXor,        &&op_kShl,      &&op_kShr,
+      &&op_kEq,         &&op_kNe,         &&op_kLt,       &&op_kLe,
+      &&op_kGt,         &&op_kGe,         &&op_kLAnd,     &&op_kLOr,
+      &&op_kStoreParam, &&op_kStoreLocal, &&op_kBufStore, &&op_kBufFill,
+      &&op_kDiagCheck,  &&op_kBoundsBatch, &&op_kLoadScalar,
+      &&op_kStoreScalar, &&op_kStoreScalarImm,
+  };
+  static_assert(sizeof(kJumpTable) / sizeof(kJumpTable[0]) ==
+                static_cast<size_t>(Op::kOpCount));
+  VM_DISPATCH();
+#else
+vm_next:
+  switch (static_cast<Op>(code[pc].op)) {
+#endif
+
+  VM_CASE(kEnd) { goto vm_done; }
+
+  VM_CASE(kJump) { VM_GOTO(code[pc].c); }
+
+  VM_CASE(kProlog) {
+    const Insn& ins = code[pc];
+    const BlockMeta& meta = p.blocks[ins.a];
+    // Interpreter-exact per-visit order: step accounting, watchdog, budget,
+    // step event, visit bound, sync resolution, command-access check.
+    ++steps;
+    if (steps > watchdog) {
+      throw CheckerFault(detail::watchdog_tripped(steps));
+    }
+    if (steps > config_->max_steps && !opts.suppress_termination) {
+      if (cond_on) {
+        add(Strategy::kConditionalJump, meta.site,
+            std::string(detail::kBudgetExceeded));
+      }
+      goto vm_done;
+    }
+    if (step_events) {
+      tr->record(obs::EventType::kTraversalStep, "traversal_step",
+                 p.device_name, meta.name, meta.site);
+    }
+    if (visit_epoch_[ins.a] != epoch_) {
+      visit_epoch_[ins.a] = epoch_;
+      visits_[ins.a] = 0;
+    }
+    if (++visits_[ins.a] > meta.visit_bound && !opts.suppress_termination) {
+      if (cond_on) {
+        add(Strategy::kConditionalJump, meta.site,
+            detail::visit_bound(meta.name, visits_[ins.a], meta.trained_max));
+      }
+      goto vm_done;
+    }
+    for (uint32_t i = 0; i < ins.dst; ++i) {
+      const LocalId l = p.sync_pool[ins.b + i];
+      if (auto v = device_->resolve_sync(l, io, *shadow_); v.has_value()) {
+        shadow_->set_local(l, *v);
+      }
+    }
+    if (active_has_ && cond_on && active_access_ != kNoAccess) {
+      const uint64_t word =
+          p.access_words[static_cast<size_t>(active_access_) *
+                             p.words_per_block +
+                         (ins.a >> 6)];
+      if (((word >> (ins.a & 63)) & 1) == 0) {
+        add(Strategy::kConditionalJump, meta.site,
+            detail::cmd_access(meta.name, active_cmd_));
+      }
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kBranch) {
+    const Insn& ins = code[pc];
+    const BlockMeta& meta = p.blocks[ins.c >> 8];
+    if ((ins.t & kBrCanDiag) != 0 && diag_.any()) {
+      if (diag_.kind == EvalDiag::Kind::kMissingLocal) {
+        if (cond_on) {
+          add(Strategy::kConditionalJump, meta.site,
+              std::string(detail::kGuardUnresolvedSync));
+        }
+      } else if (param_on) {
+        add(Strategy::kParameter, meta.site, detail::guard_diag(diag_));
+      }
+      diag_ = EvalDiag{};
+    }
+    const bool taken = regs[ins.a] != 0;
+    const uint32_t flags = ins.c & 0xff;
+    if ((flags & (taken ? kDirTakenObserved : kDirNotTakenObserved)) == 0) {
+      if (cond_on) {
+        add(Strategy::kConditionalJump, meta.site,
+            detail::untrained_direction(meta.name, taken));
+      }
+      goto vm_done;  // untrained direction: traversal cannot continue
+    }
+    // `ends` directions were compiled with target 0 (= kEnd).
+    VM_GOTO(taken ? static_cast<uint32_t>(ins.imm)
+                  : static_cast<uint32_t>(ins.imm >> 32));
+  }
+
+  VM_CASE(kGuardCmpBranch) {
+    const Insn& ins = code[pc];
+    const BlockMeta& meta = p.blocks[ins.c >> 8];
+    const __int128 lv =
+        vm_guard_operand(p, *shadow_, io, ins.a, goff, gw, gn);
+    const __int128 rv =
+        vm_guard_operand(p, *shadow_, io, ins.b, goff, gw, gn);
+    bool taken = false;
+    switch (static_cast<sedspec::BinaryOp>(ins.t)) {
+      case sedspec::BinaryOp::kEq:
+        taken = lv == rv;
+        break;
+      case sedspec::BinaryOp::kNe:
+        taken = lv != rv;
+        break;
+      case sedspec::BinaryOp::kLt:
+        taken = lv < rv;
+        break;
+      case sedspec::BinaryOp::kLe:
+        taken = lv <= rv;
+        break;
+      case sedspec::BinaryOp::kGt:
+        taken = lv > rv;
+        break;
+      default:  // kGe (verified)
+        taken = lv >= rv;
+        break;
+    }
+    const uint32_t flags = ins.c & 0xff;
+    if ((flags & (taken ? kDirTakenObserved : kDirNotTakenObserved)) == 0) {
+      if (cond_on) {
+        add(Strategy::kConditionalJump, meta.site,
+            detail::untrained_direction(meta.name, taken));
+      }
+      goto vm_done;
+    }
+    VM_GOTO(taken ? static_cast<uint32_t>(ins.imm)
+                  : static_cast<uint32_t>(ins.imm >> 32));
+  }
+
+  VM_CASE(kCmdDispatch) {
+    const Insn& ins = code[pc];
+    const BlockMeta& meta = p.blocks[ins.c];
+    if ((ins.t & kBrCanDiag) != 0 && diag_.any()) {
+      // Missing-local during command decode is silently dropped (the
+      // interpreter still dispatches); other diags report under parameter.
+      if (diag_.kind != EvalDiag::Kind::kMissingLocal && param_on) {
+        add(Strategy::kParameter, meta.site, detail::cmd_decode_diag(diag_));
+      }
+      diag_ = EvalDiag{};
+    }
+    const uint64_t cmd = regs[ins.a];
+    const DispatchTable& table = p.tables[ins.b];
+    ICEntry& ic = ic_[ins.b];
+    const DispatchEntry* e = nullptr;
+    if (ic.valid && ic.cmd == cmd) {
+      e = &table.entries[ic.entry];  // monomorphic inline-cache hit
+    } else if (!table.entries.empty()) {
+      const DispatchEntry* data = table.entries.data();
+      const DispatchEntry* base = data;
+      size_t n = table.entries.size();
+      while (n > 1) {
+        const size_t half = n / 2;
+        base += (base[half - 1].cmd < cmd) ? half : 0;
+        n -= half;
+      }
+      if (base->cmd == cmd) {
+        e = base;
+        ic.valid = true;
+        ic.cmd = cmd;
+        ic.entry = static_cast<uint32_t>(base - data);
+      }
+    }
+    if (e == nullptr) {
+      if (cond_on) {
+        add(Strategy::kConditionalJump, meta.site,
+            detail::untrained_cmd(meta.name, cmd));
+      }
+      goto vm_done;  // untrained command; the latch is NOT set
+    }
+    active_has_ = true;
+    active_cmd_ = cmd;
+    active_access_ = e->access_idx;
+    VM_GOTO(e->pc);
+  }
+
+  VM_CASE(kIndirect) {
+    const Insn& ins = code[pc];
+    const BlockMeta& meta = p.blocks[ins.c];
+    const uint64_t target = shadow_->param(static_cast<ParamId>(ins.a));
+    if (ind_on && !p.edges[ins.b].contains(target)) {
+      add(Strategy::kIndirectJump, meta.site,
+          detail::indirect_target(meta.name, target));
+    }
+    VM_GOTO(static_cast<uint32_t>(ins.imm));
+  }
+
+  VM_CASE(kCmdEnd) {
+    active_has_ = false;
+    active_access_ = kNoAccess;
+    VM_GOTO(static_cast<uint32_t>(code[pc].imm));
+  }
+
+  VM_CASE(kTrapUnmapped) {
+    // A trained successor that is not a mapped block. The interpreter walks
+    // onto it and only then faults — after step/watchdog/budget accounting.
+    const Insn& ins = code[pc];
+    ++steps;
+    if (steps > watchdog) {
+      throw CheckerFault(detail::watchdog_tripped(steps));
+    }
+    if (steps > config_->max_steps && !opts.suppress_termination) {
+      if (cond_on) {
+        add(Strategy::kConditionalJump, static_cast<SiteId>(ins.c),
+            std::string(detail::kBudgetExceeded));
+      }
+      goto vm_done;
+    }
+    throw CheckerFault(detail::unmapped_site(static_cast<SiteId>(ins.c)));
+  }
+
+  VM_CASE(kConst) {
+    const Insn& ins = code[pc];
+    regs[ins.dst] = ins.imm;  // raw, untruncated (kConst semantics)
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoadParam) {
+    const Insn& ins = code[pc];
+    regs[ins.dst] = sedspec::truncate_to(
+        static_cast<IntType>(ins.t & 7),
+        shadow_->param(static_cast<ParamId>(ins.a)));
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoadLocal) {
+    const Insn& ins = code[pc];
+    uint64_t v = 0;
+    if (!shadow_->local(static_cast<LocalId>(ins.a), &v)) {
+      diag_.record(EvalDiag::Kind::kMissingLocal);
+      diag_.local = static_cast<LocalId>(ins.a);  // unconditional (eval.cc)
+      regs[ins.dst] = 0;
+    } else {
+      regs[ins.dst] =
+          sedspec::truncate_to(static_cast<IntType>(ins.t & 7), v);
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoadIo) {
+    const Insn& ins = code[pc];
+    const auto t = static_cast<IntType>(ins.t & 7);
+    uint64_t out = 0;
+    switch (static_cast<IoField>(ins.a)) {
+      case IoField::kAddr:
+        out = sedspec::truncate_to(t, io.addr);
+        break;
+      case IoField::kValue:
+        out = sedspec::truncate_to(t, io.value);
+        break;
+      case IoField::kSize:
+        out = sedspec::truncate_to(t, io.size);
+        break;
+      case IoField::kIsWrite:
+        out = io.is_write ? 1 : 0;  // raw (eval.cc does not truncate)
+        break;
+      case IoField::kSpace:
+        out = static_cast<uint64_t>(io.space);  // raw
+        break;
+    }
+    regs[ins.dst] = out;
+    VM_NEXT();
+  }
+
+  VM_CASE(kBufLoad) {
+    const Insn& ins = code[pc];
+    regs[ins.dst] = sedspec::truncate_to(
+        static_cast<IntType>(ins.t & 7),
+        shadow_->buf_load(static_cast<ParamId>(ins.b), regs[ins.a], &diag_));
+    VM_NEXT();
+  }
+
+  VM_CASE(kCast) {
+    const Insn& ins = code[pc];
+    regs[ins.dst] = sedspec::truncate_to(
+        static_cast<IntType>(ins.t & 7),
+        vm_pattern(static_cast<IntType>(ins.b & 7), regs[ins.a]));
+    VM_NEXT();
+  }
+
+  VM_CASE(kNeg) {
+    const Insn& ins = code[pc];
+    const auto t = static_cast<IntType>(ins.t & 7);
+    const __int128 v =
+        sedspec::interpret(static_cast<IntType>(ins.b & 7), regs[ins.a]);
+    const __int128 truth = -v;
+    if (!sedspec::representable(t, truth)) {
+      diag_.record(EvalDiag::Kind::kIntegerOverflow);
+      diag_.type = t;  // unconditional (eval.cc kNeg)
+    }
+    regs[ins.dst] = sedspec::wrap_to(t, truth);
+    VM_NEXT();
+  }
+
+  VM_CASE(kBitNot) {
+    const Insn& ins = code[pc];
+    regs[ins.dst] = sedspec::truncate_to(
+        static_cast<IntType>(ins.t & 7),
+        ~vm_pattern(static_cast<IntType>(ins.b & 7), regs[ins.a]));
+    VM_NEXT();
+  }
+
+  VM_CASE(kLogNot) {
+    const Insn& ins = code[pc];
+    regs[ins.dst] =
+        sedspec::interpret(static_cast<IntType>(ins.b & 7), regs[ins.a]) == 0
+            ? 1
+            : 0;
+    VM_NEXT();
+  }
+
+  VM_CASE(kAdd) {
+    vm_binary<sedspec::BinaryOp::kAdd>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kSub) {
+    vm_binary<sedspec::BinaryOp::kSub>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kMul) {
+    vm_binary<sedspec::BinaryOp::kMul>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kDiv) {
+    vm_binary<sedspec::BinaryOp::kDiv>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kMod) {
+    vm_binary<sedspec::BinaryOp::kMod>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kAnd) {
+    vm_binary<sedspec::BinaryOp::kAnd>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kOr) {
+    vm_binary<sedspec::BinaryOp::kOr>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kXor) {
+    vm_binary<sedspec::BinaryOp::kXor>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kShl) {
+    vm_binary<sedspec::BinaryOp::kShl>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kShr) {
+    vm_binary<sedspec::BinaryOp::kShr>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kEq) {
+    vm_binary<sedspec::BinaryOp::kEq>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kNe) {
+    vm_binary<sedspec::BinaryOp::kNe>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kLt) {
+    vm_binary<sedspec::BinaryOp::kLt>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kLe) {
+    vm_binary<sedspec::BinaryOp::kLe>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kGt) {
+    vm_binary<sedspec::BinaryOp::kGt>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kGe) {
+    vm_binary<sedspec::BinaryOp::kGe>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kLAnd) {
+    vm_binary<sedspec::BinaryOp::kLAnd>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+  VM_CASE(kLOr) {
+    vm_binary<sedspec::BinaryOp::kLOr>(code[pc], regs, diag_);
+    VM_NEXT();
+  }
+
+  VM_CASE(kStoreParam) {
+    const Insn& ins = code[pc];
+    shadow_->set_param(static_cast<ParamId>(ins.b), regs[ins.a]);
+    VM_NEXT();
+  }
+
+  VM_CASE(kStoreLocal) {
+    const Insn& ins = code[pc];
+    shadow_->set_local(static_cast<LocalId>(ins.b), regs[ins.a]);
+    VM_NEXT();
+  }
+
+  VM_CASE(kBufStore) {
+    const Insn& ins = code[pc];
+    shadow_->buf_store(static_cast<ParamId>(ins.b), regs[ins.a],
+                       regs[ins.dst], ins.t != 0 ? &diag_ : nullptr);
+    VM_NEXT();
+  }
+
+  VM_CASE(kBufFill) {
+    const Insn& ins = code[pc];
+    shadow_->buf_fill(static_cast<ParamId>(ins.b), regs[ins.a],
+                      regs[ins.dst], ins.t != 0 ? &diag_ : nullptr);
+    VM_NEXT();
+  }
+
+  VM_CASE(kDiagCheck) {
+    const Insn& ins = code[pc];
+    if (diag_.any()) {
+      if (diag_.note.empty()) {
+        diag_.note = p.notes[ins.c];
+      }
+      const BlockMeta& meta = p.blocks[ins.b];
+      if (diag_.kind == EvalDiag::Kind::kMissingLocal) {
+        if (cond_on) {
+          add(Strategy::kConditionalJump, meta.site,
+              detail::unresolved_sync(diag_));
+        }
+      } else if (param_on) {
+        add(Strategy::kParameter, meta.site, diag_.describe());
+      }
+      diag_ = EvalDiag{};
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoadScalar) {
+    const Insn& ins = code[pc];
+    regs[ins.dst] = sedspec::truncate_to(
+        static_cast<IntType>(ins.t & 7), shadow_->load_scalar(ins.c, ins.b));
+    VM_NEXT();
+  }
+
+  VM_CASE(kStoreScalar) {
+    const Insn& ins = code[pc];
+    shadow_->store_scalar(
+        ins.c, ins.b,
+        sedspec::truncate_to(static_cast<IntType>(ins.t & 7), regs[ins.a]));
+    VM_NEXT();
+  }
+
+  VM_CASE(kStoreScalarImm) {
+    const Insn& ins = code[pc];
+    shadow_->store_scalar(ins.c, ins.b, ins.imm);
+    VM_NEXT();
+  }
+
+  VM_CASE(kBoundsBatch) {
+    const Insn& ins = code[pc];
+    const BatchEntry* entries = p.batch_pool.data() + ins.a;
+    uint64_t ok = 1;
+    for (uint32_t i = 0; i < ins.b; ++i) {
+      // Branchless: unsigned compare, negative indices wrap high. For a
+      // limit equal to the buffer's element count this is exactly the
+      // arena's in-bounds predicate for single-element stores.
+      ok &= regs[entries[i].idx_reg] < entries[i].limit ? uint64_t{1}
+                                                        : uint64_t{0};
+    }
+    if (ok != 0) {
+      for (uint32_t i = 0; i < ins.b; ++i) {
+        shadow_->buf_store(static_cast<ParamId>(entries[i].param),
+                           regs[entries[i].idx_reg],
+                           regs[entries[i].val_reg], nullptr);
+      }
+      VM_GOTO(static_cast<uint32_t>(ins.imm));  // join
+    }
+    VM_GOTO(ins.c);  // sequential slow path (interpreter-exact diagnostics)
+  }
+
+#ifndef SEDSPEC_VM_THREADED
+  default:
+    goto vm_done;  // unreachable: verify_program rejects unknown opcodes
+  }
+#endif
+
+vm_done:
+  result.violations = std::move(viols);
+  result.steps = steps;
+  return result;
+}
+
+#undef SEDSPEC_VM_THREADED
+#undef VM_CASE
+#undef VM_DISPATCH
+#undef VM_NEXT
+#undef VM_GOTO
+
+}  // namespace sedspec::checker::engine

@@ -1,0 +1,289 @@
+// BytecodeEngine: compile-once / execute-many check backend (DESIGN.md §12).
+//
+// At deploy time the spec::EsCfg and its expr/stmt ASTs are lowered into a
+// flat, immutable BytecodeProgram: one contiguous Insn array executed by a
+// threaded-code VM (computed-goto dispatch on GCC/Clang, switch fallback),
+// plus side tables — block metadata, statement-note and constant pools,
+// command dispatch tables (sorted, inline-cached), indirect-jump edge sets
+// (dense bitmap or sorted array + branchless binary search), and batched
+// parameter-range-check pools over a flat layout.
+//
+// Design contract: observational identity with InterpreterEngine. Every
+// evaluation quirk of expr/eval.cc (overflow/diag recording order, eager
+// &&/||, raw kConst, shift-range rules, missing-local attribution) is
+// replicated per opcode, and every violation string is produced by the
+// shared engine::detail formatters. The differential suite
+// (tests/check_engine_test.cc) holds both engines to identical CheckResults
+// across devices, the CVE matrix, and fuzzed specs.
+//
+// Programs are serializable ("SEBC" envelope: magic + version + length +
+// crc32, mirroring spec/serial.h) and re-verified against the attached
+// device's StateLayout/site count before execution: a truncated or
+// bit-flipped program is rejected with a structured error, and a
+// verified-but-garbled program may compute wrong results but can never
+// execute unsafely (all indices are range-checked at attach, the arena
+// clamps escapes, and internal inconsistencies throw CheckerFault into the
+// containment layer).
+//
+// Inline caches (one per command-dispatch table) live in the ENGINE, not
+// the program: a program is immutable and shareable, and redeploy
+// constructs a fresh engine, so caches are invalidated by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "checker/engine/engine.h"
+#include "spec/es_cfg.h"
+#include "spec/serial.h"
+
+namespace sedspec::checker::engine {
+
+/// Opcodes. Control ops terminate or redirect the instruction stream; expr
+/// ops implement one AST node each (one opcode per BinaryOp — threaded
+/// dispatch makes a wide opcode space free); stmt ops mutate the shadow.
+enum class Op : uint8_t {
+  // Control.
+  kEnd = 0,  // round complete (code[0] is always kEnd: jump target 0 = end)
+  kJump,     // pc = c
+  kProlog,   // block entry: steps/watchdog/budget/visits/syncs/cmd-access
+  kBranch,   // conditional NBTD on regs[a]
+  kGuardCmpBranch,  // superinstruction: fused simple-operand compare + NBTD
+  kCmdDispatch,     // command decode dispatch (sorted table + inline cache)
+  kIndirect,        // indirect-jump edge-set membership check
+  kCmdEnd,          // active command ends
+  kTrapUnmapped,    // dangling trained successor: step accounting, then
+                    // CheckerFault — byte-compatible with the interpreter
+                    // walking onto an unmapped site
+
+  // Expressions (dst = register index).
+  kConst,      // dst = imm (raw, untruncated — kConst semantics)
+  kLoadParam,  // dst = truncate(t, shadow.param(a))
+  kLoadLocal,  // dst = truncate(t, local a) | missing-local diag
+  kLoadIo,     // dst = io field a, type t
+  kBufLoad,    // dst = truncate(t, shadow.buf_load(b, regs[a], &diag))
+  kCast,       // dst = truncate(t, pattern_of(b, regs[a]))
+  kNeg,        // dst = -regs[a] with overflow diag (t = result, b = operand)
+  kBitNot,     // dst = truncate(t, ~pattern_of(b, regs[a]))
+  kLogNot,     // dst = interpret(b, regs[a]) == 0
+  // Binary: dst, a = lhs reg, b = rhs reg, c = res | lhs<<8 | rhs<<16 types.
+  kAdd, kSub, kMul, kDiv, kMod, kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe, kLAnd, kLOr,
+
+  // Statements.
+  kStoreParam,   // shadow.set_param(b, regs[a])
+  kStoreLocal,   // shadow.set_local(b, regs[a])
+  kBufStore,     // shadow.buf_store(b, regs[a], regs[dst], t ? &diag : null)
+  kBufFill,      // shadow.buf_fill(b, regs[a], regs[dst], t ? &diag : null)
+  kDiagCheck,    // convert a pending stmt diag into a violation, reset
+  kBoundsBatch,  // batched param range checks: all-in-bounds fast path
+
+  // Scalar-field superinstructions: the compiler resolves a scalar param's
+  // byte offset/width against the layout at compile time (emitted only when
+  // the id is a valid scalar — invalid ids keep the generic ops so the
+  // arena's runtime containment behavior is engine-identical). The verifier
+  // bounds-checks offset+width against the arena, so even a garbled program
+  // stays inside arena memory.
+  kLoadScalar,      // dst = truncate(t, load_raw(c, b))      (b=width, c=off)
+  kStoreScalar,     // store_raw(c, b, truncate(t, regs[a]))  (t=field type)
+  kStoreScalarImm,  // store_raw(c, b, imm)  (imm pre-truncated at compile)
+
+  kOpCount,
+};
+
+/// One fixed-size instruction. Field meaning is per-opcode (see Op).
+struct Insn {
+  uint8_t op = 0;     // Op
+  uint8_t t = 0;      // type / flags (per-op)
+  uint16_t dst = 0;   // destination register / secondary operand
+  uint16_t a = 0;     // register / id operand
+  uint16_t b = 0;     // register / id / pool-index operand
+  uint32_t c = 0;     // packed types / meta index / jump target
+  uint64_t imm = 0;   // constant / packed branch targets
+};
+
+// kBranch flag bits (Insn::t) and direction bits (low byte of Insn::c; the
+// block-meta index lives in the high 24 bits of c).
+inline constexpr uint8_t kBrCanDiag = 1;         // guard can raise a diag
+inline constexpr uint32_t kDirTakenObserved = 1;
+inline constexpr uint32_t kDirTakenEnds = 2;
+inline constexpr uint32_t kDirNotTakenObserved = 4;
+inline constexpr uint32_t kDirNotTakenEnds = 8;
+
+/// kGuardCmpBranch operand spec (Insn::a / Insn::b):
+///   kind(2 bits) << 14 | IntType(3 bits) << 11 | id(11 bits)
+/// kind 0 = constant-pool index, 1 = scalar param, 2 = IoField.
+inline constexpr uint16_t operand_spec(unsigned kind, sedspec::IntType type,
+                                       uint16_t id) {
+  return static_cast<uint16_t>((kind << 14) |
+                               (static_cast<unsigned>(type) << 11) |
+                               (id & 0x7ff));
+}
+
+/// Sentinel: the active command has no entry in the command-access table
+/// (the access check is skipped, matching commands.find() == end()).
+inline constexpr uint32_t kNoAccess = 0xffffffff;
+
+struct BlockMeta {
+  std::string name;
+  SiteId site = sedspec::kInvalidSite;
+  uint64_t trained_max = 0;  // block.max_visits_per_round (for the message)
+  uint64_t visit_bound = 0;  // slack-adjusted cap baked in at compile time
+};
+
+struct DispatchEntry {
+  uint64_t cmd = 0;
+  uint32_t pc = 0;  // 0 (= kEnd) when this command ends the round
+  uint32_t access_idx = kNoAccess;
+};
+
+struct DispatchTable {
+  std::vector<DispatchEntry> entries;  // sorted by cmd; observed only
+};
+
+/// Trained indirect-jump target set.
+struct EdgeSet {
+  enum : uint8_t { kEmpty = 0, kBitmap = 1, kSorted = 2 };
+  uint8_t kind = kEmpty;
+  uint64_t base = 0;            // kBitmap: lowest target
+  std::vector<uint64_t> words;  // kBitmap: span/64 words
+  std::vector<uint64_t> sorted; // kSorted: ascending targets
+
+  [[nodiscard]] bool contains(uint64_t target) const;
+};
+
+/// One statement of a kBoundsBatch: index/value registers already computed,
+/// `regs[idx_reg] < limit` (branchless, unsigned — negative indices wrap
+/// high) proves the store in-bounds.
+struct BatchEntry {
+  uint16_t idx_reg = 0;
+  uint16_t val_reg = 0;
+  uint16_t param = 0;  // buffer field
+  uint32_t limit = 0;  // must equal the field's element count (verified)
+};
+
+/// Entry dispatch for one (space, is_write) group: dense direct table when
+/// the trained address span is small, otherwise sorted addresses +
+/// branchless lower-bound.
+struct EntryGroup {
+  bool dense = false;
+  uint64_t base = 0;
+  std::vector<uint32_t> table;  // dense: pc per addr-base offset (kPcMiss)
+  std::vector<uint64_t> addrs;  // sparse: ascending
+  std::vector<uint32_t> pcs;    // sparse: parallel to addrs
+};
+
+inline constexpr uint32_t kPcMiss = 0xffffffff;
+
+/// The compiled, immutable program. Shareable across engines (each engine
+/// adds its own mutable state: registers, visit counters, inline caches).
+struct BytecodeProgram {
+  std::string device_name;
+  uint32_t reg_count = 0;
+  std::vector<Insn> code;  // code[0] is kEnd
+  std::vector<BlockMeta> blocks;
+  std::vector<std::string> notes;
+  std::vector<uint64_t> consts;
+  std::vector<sedspec::LocalId> sync_pool;
+  std::vector<DispatchTable> tables;
+  std::vector<EdgeSet> edges;
+  std::vector<BatchEntry> batch_pool;
+  // Command access-control table: sorted command values; one bitset row of
+  // words_per_block words per command, bit i = block i accessible.
+  std::vector<uint64_t> cmd_values;
+  std::vector<uint64_t> access_words;
+  uint32_t words_per_block = 0;
+  EntryGroup entry[4];  // index: (space == kMmio) << 1 | is_write
+};
+
+/// Compiles a spec into a program. Throws std::logic_error on structurally
+/// malformed specs (unmapped sites, dangling transition targets) — the same
+/// behavior (and containment conversion) as InterpreterEngine attach.
+[[nodiscard]] std::shared_ptr<const BytecodeProgram> compile_program(
+    const spec::EsCfg& cfg, const Device& device, const CheckerConfig& config);
+
+/// Structural/memory-safety verifier: every register, pool index, jump
+/// target, param/local/type id is range-checked against the program's own
+/// tables and the attached device's layout + site count, and the last
+/// instruction must be a terminator. Throws common DecodeError on the first
+/// violation. A verified program executes memory-safely even if its results
+/// are garbage.
+void verify_program(const BytecodeProgram& p, const sedspec::StateLayout& layout,
+                    size_t site_count);
+
+inline constexpr uint32_t kBytecodeMagic = 0x43424553;  // "SEBC"
+inline constexpr uint32_t kBytecodeFormatVersion = 1;
+
+[[nodiscard]] std::vector<uint8_t> serialize(const BytecodeProgram& p);
+
+struct BytecodeLoadResult {
+  std::shared_ptr<const BytecodeProgram> program;
+  spec::LoadError error;
+  [[nodiscard]] bool ok() const { return program != nullptr; }
+};
+
+/// Structured, non-throwing load: integrity envelope first (magic, version,
+/// length, crc32), then structural decode. Corrupt input yields a
+/// LoadError; the program must still pass verify_program at attach.
+[[nodiscard]] BytecodeLoadResult load_program(std::span<const uint8_t> bytes);
+
+class BytecodeEngine final : public CheckEngine {
+ public:
+  /// Compile-and-attach (the make_engine path).
+  BytecodeEngine(const spec::EsCfg* cfg, Device* device,
+                 sedspec::StateArena* shadow, const CheckerConfig* config);
+
+  /// Attach a precompiled (possibly deserialized) program. Runs
+  /// verify_program against the device before accepting it.
+  BytecodeEngine(std::shared_ptr<const BytecodeProgram> program,
+                 Device* device, sedspec::StateArena* shadow,
+                 const CheckerConfig* config);
+
+  [[nodiscard]] CheckResult check(const IoAccess& io,
+                                  const RoundOptions& opts) override;
+
+  [[nodiscard]] std::optional<uint64_t> active_command() const override;
+  void set_active_command(std::optional<uint64_t> cmd) override;
+
+  [[nodiscard]] std::string_view name() const override { return "bytecode"; }
+
+  [[nodiscard]] const BytecodeProgram& program() const { return *program_; }
+
+ private:
+  struct ICEntry {  // per dispatch table; monomorphic hit skips the search
+    uint64_t cmd = 0;
+    uint32_t entry = 0;
+    bool valid = false;
+  };
+
+  void attach();
+  [[nodiscard]] uint32_t access_index_of(uint64_t cmd) const;
+
+  std::shared_ptr<const BytecodeProgram> program_;
+  Device* device_;
+  sedspec::StateArena* shadow_;
+  const CheckerConfig* config_;
+
+  // Mutable per-engine state.
+  std::vector<uint64_t> regs_;
+  std::vector<uint64_t> visits_;
+  std::vector<uint64_t> visit_epoch_;
+  uint64_t epoch_ = 0;
+  sedspec::EvalDiag diag_;  // clean at statement boundaries
+  bool active_has_ = false;
+  uint64_t active_cmd_ = 0;
+  uint32_t active_access_ = kNoAccess;
+  std::vector<ICEntry> ic_;  // one per dispatch table
+
+  // Scalar-field fast path for guard operands, resolved from the *trusted*
+  // layout (not the program) at attach() time: guard_w_[id] == 0 means "use
+  // the generic StateArena::param() path" (buffer, oversized, or garbled id).
+  std::vector<uint32_t> guard_off_;
+  std::vector<uint8_t> guard_w_;
+};
+
+}  // namespace sedspec::checker::engine

@@ -1,0 +1,140 @@
+#include "checker/engine/engine.h"
+
+#include <atomic>
+#include <sstream>
+
+#include "checker/engine/bytecode.h"
+#include "checker/engine/interpreter.h"
+#include "common/assert.h"
+#include "vdev/device.h"
+
+namespace sedspec::checker::engine {
+
+namespace {
+// Process-wide backend knob. Relaxed is enough: tests that flip it
+// synchronize checker construction themselves, and a torn read is
+// impossible for a one-byte enum.
+std::atomic<EngineKind> g_default_engine{EngineKind::kBytecode};
+}  // namespace
+
+EngineKind default_engine() {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
+void set_default_engine(EngineKind kind) {
+  SEDSPEC_REQUIRE_MSG(kind != EngineKind::kDefault,
+                      "default engine must be a concrete backend");
+  g_default_engine.store(kind, std::memory_order_relaxed);
+}
+
+EngineKind resolve_engine(EngineKind requested) {
+  return requested == EngineKind::kDefault ? default_engine() : requested;
+}
+
+std::unique_ptr<CheckEngine> make_engine(const spec::EsCfg* cfg,
+                                         Device* device,
+                                         sedspec::StateArena* shadow,
+                                         const CheckerConfig* config) {
+  SEDSPEC_REQUIRE(cfg != nullptr && device != nullptr && shadow != nullptr &&
+                  config != nullptr);
+  switch (resolve_engine(config->engine)) {
+    case EngineKind::kInterpreter:
+      return std::make_unique<InterpreterEngine>(cfg, device, shadow, config);
+    case EngineKind::kBytecode:
+      return std::make_unique<BytecodeEngine>(cfg, device, shadow, config);
+    case EngineKind::kDefault:
+      break;  // unreachable: resolve_engine never returns kDefault
+  }
+  SEDSPEC_REQUIRE_MSG(false, "unresolvable engine kind");
+  return nullptr;
+}
+
+bool index_is_state_derived(const spec::EsCfg& cfg, const sedspec::ExprRef& e) {
+  if (e == nullptr) {
+    return false;
+  }
+  bool has_param = false;
+  bool has_sync_local = false;
+  sedspec::visit(*e, [&](const sedspec::Expr& n) {
+    if (n.kind == sedspec::ExprKind::kParam ||
+        n.kind == sedspec::ExprKind::kBufLoad) {
+      if (cfg.is_param(n.param)) {
+        has_param = true;
+      }
+    } else if (n.kind == sedspec::ExprKind::kLocal) {
+      if (cfg.sync_locals.contains(n.local)) {
+        has_sync_local = true;
+      }
+    }
+  });
+  return has_param && !has_sync_local;
+}
+
+namespace detail {
+
+std::string untrained_io(const IoAccess& io) {
+  std::ostringstream detail;
+  detail << "untrained I/O access: "
+         << (io.space == sedspec::IoSpace::kPio ? "pio" : "mmio") << " 0x"
+         << std::hex << io.addr << (io.is_write ? " write" : " read");
+  return detail.str();
+}
+
+std::string visit_bound(std::string_view block_name, uint64_t visits,
+                        uint64_t trained_max) {
+  std::ostringstream detail;
+  detail << "block '" << block_name << "' visited " << visits
+         << " times in one round (trained max " << trained_max << ")";
+  return detail.str();
+}
+
+std::string cmd_access(std::string_view block_name, uint64_t cmd) {
+  std::ostringstream detail;
+  detail << "block '" << block_name << "' not accessible under command 0x"
+         << std::hex << cmd;
+  return detail.str();
+}
+
+std::string unresolved_sync(const sedspec::EvalDiag& diag) {
+  return "unresolved sync variable: " + diag.describe();
+}
+
+std::string guard_diag(const sedspec::EvalDiag& diag) {
+  return "in guard: " + diag.describe();
+}
+
+std::string untrained_direction(std::string_view block_name, bool taken) {
+  return std::string("untrained ") + (taken ? "taken" : "not-taken") +
+         " direction at '" + std::string(block_name) + "'";
+}
+
+std::string cmd_decode_diag(const sedspec::EvalDiag& diag) {
+  return "in command decode: " + diag.describe();
+}
+
+std::string untrained_cmd(std::string_view block_name, uint64_t cmd) {
+  std::ostringstream detail;
+  detail << "untrained command 0x" << std::hex << cmd << " at '" << block_name
+         << "'";
+  return detail.str();
+}
+
+std::string indirect_target(std::string_view block_name, uint64_t target) {
+  std::ostringstream detail;
+  detail << "indirect call at '" << block_name << "' targets 0x" << std::hex
+         << target << ", not a trained legitimate function";
+  return detail.str();
+}
+
+std::string watchdog_tripped(uint64_t steps) {
+  return "traversal watchdog tripped after " + std::to_string(steps) +
+         " steps";
+}
+
+std::string unmapped_site(SiteId site) {
+  return "traversal reached unmapped site " + std::to_string(site);
+}
+
+}  // namespace detail
+
+}  // namespace sedspec::checker::engine

@@ -219,10 +219,13 @@ void arm_checker_faults(checker::EsChecker& checker, CheckerFaultKind kind,
                         size_t count, uint64_t seed) {
   auto remaining = std::make_shared<size_t>(count);
   auto rng = std::make_shared<Rng>(seed);
-  checker.set_fault_hook(
+  // attach() replaces the whole hook set; start from the current hooks so
+  // arming a fault never silently detaches a report sink or flight ring.
+  checker::CheckerHooks hooks = checker.hooks();
+  hooks.fault_hook =
       [remaining, rng,
-       kind](StateArena& shadow) -> checker::EsChecker::InternalFault {
-        checker::EsChecker::InternalFault fault;
+       kind](StateArena& shadow) -> checker::InternalFault {
+        checker::InternalFault fault;
         if (*remaining == 0) {
           return fault;
         }
@@ -250,11 +253,14 @@ void arm_checker_faults(checker::EsChecker& checker, CheckerFaultKind kind,
             break;
         }
         return fault;
-      });
+      };
+  checker.attach(std::move(hooks));
 }
 
 void disarm_checker_faults(checker::EsChecker& checker) {
-  checker.set_fault_hook(nullptr);
+  checker::CheckerHooks hooks = checker.hooks();
+  hooks.fault_hook = nullptr;
+  checker.attach(std::move(hooks));
 }
 
 }  // namespace sedspec::faultinject

@@ -12,6 +12,7 @@
 //    the indirect-jump check see a clobbered function pointer).
 #pragma once
 
+#include <cstring>
 #include <functional>
 #include <span>
 #include <vector>
@@ -69,6 +70,21 @@ class StateArena final : public StateAccess {
   /// no instrumentation semantics).
   [[nodiscard]] uint64_t get(ParamId id) const { return param(id); }
   void set(ParamId id, uint64_t raw) { set_param(id, raw); }
+
+  /// Pre-resolved scalar access for the compiled check engine: offset/size
+  /// come from this layout's own FieldDesc and are re-verified against
+  /// arena_size() when a bytecode program attaches, so the per-access field
+  /// lookup is skipped. Bytes are little-endian raw, exactly as param()/
+  /// set_param() read and write scalar fields (the caller applies the
+  /// field-type truncation set_param() would).
+  [[nodiscard]] uint64_t load_scalar(uint32_t offset, uint32_t size) const {
+    uint64_t v = 0;
+    std::memcpy(&v, bytes_.data() + offset, size);
+    return v;
+  }
+  void store_scalar(uint32_t offset, uint32_t size, uint64_t raw) {
+    std::memcpy(bytes_.data() + offset, &raw, size);
+  }
 
  private:
   struct Resolved {

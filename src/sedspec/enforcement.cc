@@ -233,13 +233,15 @@ void EnforcementService::run_shard(const ShardSpec& spec, uint32_t shard_id,
       ccfg = control::apply_policy(policy_bits(), ccfg);
     }
     Deployment next;
-    next.active = std::make_unique<checker::EsChecker>(
-        std::move(active_snap), &workload->device(), ccfg);
-    next.active->set_report_sink(&queue, shard_id);
+    checker::CheckerHooks hooks;
+    hooks.report_sink = &queue;
+    hooks.shard_id = shard_id;
     if (config_.flight != nullptr) {
-      next.active->set_local_tracer(&config_.flight->shard_ring(
-          shard_id % config_.flight->shards()));
+      hooks.local_tracer =
+          &config_.flight->shard_ring(shard_id % config_.flight->shards());
     }
+    next.active = std::make_unique<checker::EsChecker>(
+        std::move(active_snap), &workload->device(), ccfg, std::move(hooks));
     if (cand_snap != nullptr) {
       next.candidate = std::make_unique<checker::EsChecker>(
           std::move(cand_snap), &workload->device(), shadow_config(ccfg));
